@@ -1,0 +1,134 @@
+"""FW — the paper's §7 future-work constructions, measured.
+
+Compares the two multi-decision constructions this repo builds on top of
+ProBFT:
+
+* **SMR** (view-change based): one ProBFT instance per slot, optional
+  pipelining;
+* **Streamlined** (no view-change sub-protocol): Streamlet-style chain over
+  probabilistic quorums, one epoch per block.
+
+Metrics: decisions per simulated time unit and protocol messages per
+decision, fault-free and with silent Byzantine members.
+"""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness.tables import render_table
+from repro.smr.app import CounterApp
+from repro.smr.service import SMRDeployment
+from repro.streamlined import StreamDeployment
+
+N, F = 16, 3
+DECISIONS = 6
+
+
+def run_constructions():
+    rows = []
+    cfg = ProtocolConfig(n=N, f=F)
+
+    smr = SMRDeployment(cfg, CounterApp, num_slots=DECISIONS, seed=1)
+    smr.run(max_time=10_000)
+    rows.append(
+        [
+            "SMR (sequential)",
+            DECISIONS,
+            smr.sim.now,
+            round(DECISIONS / smr.sim.now, 3),
+            smr.network.stats.sent_total,
+            smr.logs_consistent(),
+        ]
+    )
+
+    piped = SMRDeployment(
+        cfg, CounterApp, num_slots=DECISIONS, seed=1, pipeline=4
+    )
+    piped.run(max_time=10_000)
+    rows.append(
+        [
+            "SMR (pipeline=4)",
+            DECISIONS,
+            piped.sim.now,
+            round(DECISIONS / piped.sim.now, 3),
+            piped.network.stats.sent_total,
+            piped.logs_consistent(),
+        ]
+    )
+
+    stream = StreamDeployment(cfg, seed=1, max_epochs=3 * DECISIONS)
+    stream.run(min_finalized_height=DECISIONS, max_time=10_000)
+    rows.append(
+        [
+            "Streamlined",
+            stream.min_finalized_height(),
+            stream.sim.now,
+            round(stream.min_finalized_height() / stream.sim.now, 3),
+            stream.network.stats.sent_total,
+            stream.chains_consistent(),
+        ]
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="futurework")
+def test_futurework_constructions(benchmark, report):
+    rows = benchmark.pedantic(run_constructions, rounds=1, iterations=1)
+    table = render_table(
+        [
+            "construction",
+            "decisions",
+            "sim time",
+            "decisions/time",
+            "total msgs",
+            "consistent",
+        ],
+        rows,
+        title=(
+            f"FW: ProBFT-based multi-decision constructions (n={N}, f={F})\n"
+            "paper §7 future work: SMR and streamlined (view-change-free) "
+            "consensus"
+        ),
+    )
+    report(table)
+    by_name = {r[0]: r for r in rows}
+    assert all(r[5] for r in rows)  # everything consistent
+    # Pipelining beats sequential SMR on throughput.
+    assert (
+        by_name["SMR (pipeline=4)"][3] > by_name["SMR (sequential)"][3]
+    )
+    # The streamlined chain sustains roughly one decision per epoch.
+    assert by_name["Streamlined"][3] > 0.15
+
+
+@pytest.mark.benchmark(group="futurework")
+def test_futurework_streamlined_under_faults(benchmark, report):
+    def run():
+        cfg = ProtocolConfig(n=N, f=F)
+        dep = StreamDeployment(
+            cfg, seed=2, max_epochs=40, byzantine_ids=[0, 14, 15]
+        )
+        dep.run(min_finalized_height=4, max_time=10_000)
+        return dep
+
+    dep = benchmark.pedantic(run, rounds=1, iterations=1)
+    skipped = {
+        e
+        for e in range(1, max(r.current_epoch for r in dep.replicas.values()))
+        if (e - 1) % N in dep.byzantine_ids
+    }
+    table = render_table(
+        ["field", "value"],
+        [
+            ["finalized height", dep.min_finalized_height()],
+            ["chains consistent", dep.chains_consistent()],
+            ["Byzantine leader epochs (wasted, no view change)", len(skipped)],
+            ["Wish/NewLeader messages", dep.network.stats.sent("Wish")
+             + dep.network.stats.sent("NewLeader")],
+        ],
+        title="FW: streamlined variant with 3 silent Byzantine replicas",
+    )
+    report(table)
+    assert dep.min_finalized_height() >= 4
+    assert dep.chains_consistent()
+    assert dep.network.stats.sent("Wish") == 0

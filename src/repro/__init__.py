@@ -1,0 +1,28 @@
+"""repro — a full reproduction of ProBFT (Probabilistic Byzantine Fault Tolerance).
+
+Paper: Avelãs, Heydari, Alchieri, Distler, Bessani,
+"Probabilistic Byzantine Fault Tolerance (Extended Version)", PODC 2024
+(arXiv:2405.04606).
+
+Top-level convenience exports cover the common entry points; see DESIGN.md
+for the full system inventory.
+"""
+
+from .config import ProtocolConfig
+from .types import Decision, Phase, Value, View, ReplicaId
+from .core.protocol import ProBFTDeployment
+from .core.replica import ProBFTReplica
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtocolConfig",
+    "Decision",
+    "Phase",
+    "Value",
+    "View",
+    "ReplicaId",
+    "ProBFTDeployment",
+    "ProBFTReplica",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Byzantine adversary framework.
+
+The paper assumes a *static corruption* adversary (§2.1): the set of faulty
+replicas is fixed before execution; faulty replicas may collude and know each
+other's keys, but cannot forge correct replicas' signatures or predict their
+VRF samples.
+
+Byzantine replicas are full endpoint objects (``start()`` /
+``on_message(src, msg)``) built by factories, so the honest protocol code
+path is never contaminated with attack logic.
+
+* :mod:`repro.adversary.behaviors` — silent/crash replicas.
+* :mod:`repro.adversary.equivocation` — the equivocating-leader strategies of
+  Figure 4 (general / sub-optimal / optimal split) plus colluding
+  double-voters.
+* :mod:`repro.adversary.flooding` — message-flooding replicas testing that
+  correct replicas reject invalid samples/signatures.
+* :mod:`repro.adversary.plans` — helpers assembling whole-attack deployments.
+"""
+
+from .behaviors import SilentReplica, CrashReplica, silent_factory, crash_factory
+from .equivocation import (
+    EquivocatingLeader,
+    DoubleVoterReplica,
+    SplitStrategy,
+    optimal_split,
+    suboptimal_split,
+    general_split,
+    equivocating_leader_factory,
+    double_voter_factory,
+)
+from .flooding import FloodingReplica, flooding_factory
+from .plans import equivocation_attack_deployment
+
+__all__ = [
+    "SilentReplica",
+    "CrashReplica",
+    "silent_factory",
+    "crash_factory",
+    "EquivocatingLeader",
+    "DoubleVoterReplica",
+    "SplitStrategy",
+    "optimal_split",
+    "suboptimal_split",
+    "general_split",
+    "equivocating_leader_factory",
+    "double_voter_factory",
+    "FloodingReplica",
+    "flooding_factory",
+    "equivocation_attack_deployment",
+]

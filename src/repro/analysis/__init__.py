@@ -1,0 +1,38 @@
+"""Analytic evaluation: every bound in the paper, plus exact computations.
+
+The paper's evaluation (§5, Figures 1 and 5) is numerical.  This package
+reproduces it three ways per quantity:
+
+1. the **paper's closed-form bounds** (Chernoff-based; valid only on the
+   stated parameter domains — functions raise
+   :class:`~repro.errors.AnalysisDomainError` or return NaN outside them);
+2. **exact binomial computations** — for a fixed receiver, the number of
+   senders whose VRF sample includes it is exactly ``Bin(r, s/n)`` (samples
+   are independent *across senders*; the dependence the paper battles with
+   negative association is across receivers), so per-replica quorum
+   probabilities have closed forms via scipy;
+3. cross-checked empirically by :mod:`repro.montecarlo`.
+
+Modules:
+
+* :mod:`repro.analysis.bounds` — Chernoff / hypergeometric tail inequalities
+  (Appendix A).
+* :mod:`repro.analysis.quorum_probability` — Lemma 1, Theorem 11,
+  Corollary 2, Theorem 2 (Appendix B).
+* :mod:`repro.analysis.termination` — Lemmas 3–4, Theorems 15, 3/16, 4/17
+  (Appendix D.1).
+* :mod:`repro.analysis.agreement` — Lemmas 5–6, Theorems 6–8 and Corollary 1
+  (Appendices C, D.2, D.3).
+* :mod:`repro.analysis.messages` — message/step count formulas (Figure 1,
+  §3.3).
+"""
+
+from . import agreement, bounds, messages, quorum_probability, termination
+
+__all__ = [
+    "agreement",
+    "bounds",
+    "messages",
+    "quorum_probability",
+    "termination",
+]

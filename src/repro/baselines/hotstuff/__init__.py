@@ -1,0 +1,6 @@
+"""Single-shot basic HotStuff baseline."""
+
+from .replica import HotStuffReplica
+from .protocol import HotStuffDeployment
+
+__all__ = ["HotStuffReplica", "HotStuffDeployment"]

@@ -1,0 +1,12 @@
+"""Single-shot PBFT baseline (paper §2.3, Figure 2)."""
+
+from .replica import PbftReplica
+from .protocol import PbftDeployment
+from .predicates import pbft_safe_proposal, pbft_valid_new_leader
+
+__all__ = [
+    "PbftReplica",
+    "PbftDeployment",
+    "pbft_safe_proposal",
+    "pbft_valid_new_leader",
+]

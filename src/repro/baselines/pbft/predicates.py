@@ -1,0 +1,144 @@
+"""PBFT analogues of ``prepared`` / ``validNewLeader`` / ``safeProposal``.
+
+With deterministic quorums any two prepared certificates for the same view
+carry the same value, so the view-change rule simplifies: the new leader
+re-proposes the value prepared in the *highest* view reported by its quorum
+(no ``mode`` needed, unlike ProBFT).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...config import ProtocolConfig
+from ...crypto.context import CryptoContext
+from ...crypto.signatures import Signed
+from ...core.leader import leader_of_view
+from ...messages.base import ProposalStatement
+from ...messages.pbft import PbftNewLeader, PbftPrepare, PbftPropose
+from ...types import ReplicaId, ValidPredicate, Value, View
+
+
+def pbft_validate_prepared_certificate(
+    cert: Tuple[Signed, ...],
+    view: View,
+    value: Optional[Value],
+    config: ProtocolConfig,
+    crypto: CryptoContext,
+) -> bool:
+    """A deterministic quorum of signed PbftPrepare messages for (view, value)."""
+    expected_leader = leader_of_view(view, config.n)
+    seen = set()
+    expected_value = value
+    for signed in cert:
+        if not crypto.signatures.verify(signed):
+            return False
+        prepare = signed.payload
+        if not isinstance(prepare, PbftPrepare):
+            return False
+        statement = prepare.statement
+        if not crypto.signatures.verify(statement):
+            return False
+        inner = statement.payload
+        if not isinstance(inner, ProposalStatement):
+            return False
+        if statement.signer != expected_leader or inner.view != view:
+            return False
+        if expected_value is None:
+            expected_value = inner.value
+        elif inner.value != expected_value:
+            return False
+        if signed.signer in seen:
+            return False
+        seen.add(signed.signer)
+    return len(seen) >= config.det_quorum
+
+
+def pbft_valid_new_leader(
+    signed: Signed,
+    target_view: View,
+    config: ProtocolConfig,
+    crypto: CryptoContext,
+) -> bool:
+    if not crypto.signatures.verify(signed):
+        return False
+    msg = signed.payload
+    if not isinstance(msg, PbftNewLeader):
+        return False
+    if msg.view != target_view or not msg.prepared_view < target_view:
+        return False
+    if msg.prepared_view == 0:
+        return msg.prepared_value is None and not msg.cert
+    if msg.prepared_value is None:
+        return False
+    return pbft_validate_prepared_certificate(
+        msg.cert, msg.prepared_view, msg.prepared_value, config, crypto
+    )
+
+
+def pbft_choose_value(
+    justification: Tuple[Signed, ...], my_value: Value
+) -> Tuple[Value, View]:
+    """Leader's rule: value prepared in the highest view, else own value.
+
+    Returns ``(value, v_max)`` with ``v_max == 0`` when nothing was prepared.
+    """
+    v_max = 0
+    chosen = my_value
+    for m in justification:
+        payload: PbftNewLeader = m.payload
+        if payload.prepared_view > v_max and payload.prepared_value is not None:
+            v_max = payload.prepared_view
+            chosen = payload.prepared_value
+    return chosen, v_max
+
+
+def pbft_safe_proposal(
+    signed: Signed,
+    config: ProtocolConfig,
+    crypto: CryptoContext,
+    valid: Optional[ValidPredicate] = None,
+) -> bool:
+    if not crypto.signatures.verify(signed):
+        return False
+    propose = signed.payload
+    if not isinstance(propose, PbftPropose):
+        return False
+    view = propose.view
+    if view < 1:
+        return False
+    expected_leader = leader_of_view(view, config.n)
+    if signed.signer != expected_leader:
+        return False
+    statement = propose.statement
+    if not crypto.signatures.verify(statement):
+        return False
+    inner = statement.payload
+    if not isinstance(inner, ProposalStatement):
+        return False
+    if inner.view != view or statement.signer != expected_leader:
+        return False
+    valid_fn = valid if valid is not None else config.valid
+    if not valid_fn(inner.value):
+        return False
+    if view == 1:
+        return True
+    justification = propose.justification
+    if justification is None:
+        return False
+    signers = {m.signer for m in justification}
+    if len(signers) < config.det_quorum or len(signers) != len(justification):
+        return False
+    for m in justification:
+        if not pbft_valid_new_leader(m, view, config, crypto):
+            return False
+    _chosen, v_max = pbft_choose_value(justification, inner.value)
+    if v_max == 0:
+        return True
+    # The proposed value must be one prepared at v_max (all v_max certificates
+    # agree on the value thanks to deterministic quorum intersection).
+    for m in justification:
+        payload: PbftNewLeader = m.payload
+        if payload.prepared_view == v_max and payload.prepared_value == inner.value:
+            return True
+    return False

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — run one consensus instance (probft/pbft/hotstuff) and print
+  the outcome;
+* ``attack``   — run the Figure-4c equivocation attack;
+* ``figures``  — print the analytic Figure 1b / Figure 5 series;
+* ``smr``      — run a multi-slot replicated counter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import agreement as A
+from .analysis import messages as M
+from .analysis import termination as T
+from .config import ProtocolConfig
+from .harness.runner import run_hotstuff, run_pbft, run_probft
+from .harness.tables import render_series, render_table
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=20, help="number of replicas")
+    parser.add_argument("--f", type=int, default=None, help="fault threshold")
+    parser.add_argument("--l", type=float, default=2.0, help="quorum constant l")
+    parser.add_argument("--o", type=float, default=1.7, help="redundancy o")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config(args) -> ProtocolConfig:
+    return ProtocolConfig(n=args.n, f=args.f, l=args.l, o=args.o)
+
+
+def cmd_run(args) -> int:
+    config = _config(args)
+    runner = {"probft": run_probft, "pbft": run_pbft, "hotstuff": run_hotstuff}[
+        args.protocol
+    ]
+    result = runner(config, seed=args.seed, max_time=args.max_time)
+    rows = [
+        ["protocol", result.protocol],
+        ["config", config.describe()],
+        ["decided", f"{result.decided}/{result.n_correct}"],
+        ["agreement", result.agreement_ok],
+        ["decision views", result.decision_views],
+        ["last decision time", round(result.last_decision_time, 3)],
+        ["protocol messages", result.protocol_messages],
+        ["total messages", result.total_messages],
+    ]
+    print(render_table(["field", "value"], rows, title="consensus run"))
+    return 0 if (result.all_decided and result.agreement_ok) else 1
+
+
+def cmd_attack(args) -> int:
+    from .adversary.plans import equivocation_attack_deployment
+    from .sync.timeouts import FixedTimeout
+
+    config = _config(args)
+    deployment, plan = equivocation_attack_deployment(
+        config, seed=args.seed, timeout_policy=FixedTimeout(20.0), trace=True
+    )
+    deployment.run(max_time=args.max_time)
+    blocked = sum(
+        1
+        for rep in deployment.correct_replicas().values()
+        if any(e.kind == "block-view" for e in rep.trace)
+    )
+    rows = [
+        ["attack values", plan.values],
+        ["decided", f"{len(deployment.decisions)}/{len(deployment.correct_ids)}"],
+        ["agreement", deployment.agreement_ok],
+        ["decided values", sorted(deployment.decided_values())],
+        ["replicas that blocked view 1", blocked],
+        ["max decision view", deployment.max_decision_view],
+    ]
+    print(
+        render_table(
+            ["field", "value"], rows, title="equivocation attack (Figure 4c)"
+        )
+    )
+    return 0 if deployment.agreement_ok else 1
+
+
+def cmd_figures(args) -> int:
+    ns = [100, 150, 200, 250, 300]
+    msg_series = {
+        "PBFT": [float(M.pbft_messages(n)) for n in ns],
+        "HotStuff": [float(M.hotstuff_messages(n)) for n in ns],
+        f"ProBFT o={args.o}": [float(M.probft_messages(n, args.o)) for n in ns],
+    }
+    print(render_series("n", ns, msg_series, title="Figure 1b: messages vs n"))
+    term = [T.replica_terminates_exact(n, n // 5, args.o, args.l) for n in ns]
+    agree = [A.agreement_in_view_exact(n, n // 5, args.o, args.l) for n in ns]
+    print(
+        render_series(
+            "n",
+            ns,
+            {"termination (exact)": term, "agreement (exact)": agree},
+            title="\nFigure 5 (f/n=0.2): probabilities vs n",
+        )
+    )
+    return 0
+
+
+def cmd_smr(args) -> int:
+    from .smr.app import CounterApp
+    from .smr.client import SMRClient
+    from .smr.service import SMRDeployment
+
+    config = _config(args)
+    deployment = SMRDeployment(
+        config, CounterApp, num_slots=args.slots, seed=args.seed
+    )
+    client = SMRClient(deployment)
+    for i in range(min(args.slots, 5)):
+        client.submit(b"ADD:%d" % (i + 1))
+    deployment.run(max_time=args.max_time)
+    rows = [
+        ["slots applied", min(r.log.applied_up_to for r in deployment.replicas.values())],
+        ["logs consistent", deployment.logs_consistent()],
+        ["states consistent", deployment.snapshots_consistent()],
+        ["requests completed", f"{len(client.completed_requests())}/{len(client.requests)}"],
+        ["mean request latency", round(client.mean_latency(), 2)],
+        ["final counter", list(deployment.snapshots().values())[0]],
+    ]
+    print(render_table(["field", "value"], rows, title="SMR run"))
+    return 0 if deployment.all_applied() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ProBFT reproduction toolkit (PODC 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one consensus instance")
+    p_run.add_argument(
+        "protocol", choices=["probft", "pbft", "hotstuff"], help="protocol"
+    )
+    _add_config_args(p_run)
+    p_run.add_argument("--max-time", type=float, default=5000.0)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_attack = sub.add_parser("attack", help="run the equivocation attack")
+    _add_config_args(p_attack)
+    p_attack.add_argument("--max-time", type=float, default=5000.0)
+    p_attack.set_defaults(fn=cmd_attack)
+
+    p_fig = sub.add_parser("figures", help="print analytic figure series")
+    p_fig.add_argument("--l", type=float, default=2.0)
+    p_fig.add_argument("--o", type=float, default=1.7)
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_smr = sub.add_parser("smr", help="run a replicated counter")
+    _add_config_args(p_smr)
+    p_smr.add_argument("--slots", type=int, default=5)
+    p_smr.add_argument("--max-time", type=float, default=50_000.0)
+    p_smr.set_defaults(fn=cmd_smr)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

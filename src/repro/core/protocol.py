@@ -1,0 +1,164 @@
+"""Deployment wiring: run a ProBFT consensus instance on a simulated network.
+
+:class:`ProBFTDeployment` builds the simulator, network, crypto context and
+``n`` replicas (honest by default; Byzantine replicas are supplied as
+factories from :mod:`repro.adversary`), then drives the run until all correct
+replicas decide (or a time/event budget runs out).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Set
+
+from ..config import ProtocolConfig
+from ..crypto.context import CryptoContext
+from ..crypto.hashing import digest
+from ..net.faults import ChaosPolicy
+from ..net.latency import LatencyModel
+from ..net.network import Network
+from ..net.simulator import Simulator
+from ..net.transport import Transport
+from ..sync.timeouts import TimeoutPolicy
+from ..types import Decision, ReplicaId, Value
+from .replica import ProBFTReplica
+
+#: Factory building a Byzantine replica endpoint.  The returned object must
+#: expose ``start()`` and ``on_message(src, message)``.
+ByzantineFactory = Callable[[ReplicaId, ProtocolConfig, CryptoContext, Transport], object]
+
+
+def default_value(replica: ReplicaId) -> Value:
+    """Distinct per-replica proposal used when the caller supplies none."""
+    return f"value-{replica}".encode()
+
+
+class ProBFTDeployment:
+    """One consensus instance: n replicas, a network, and a clock.
+
+    Example:
+        >>> from repro.config import ProtocolConfig
+        >>> dep = ProBFTDeployment(ProtocolConfig(n=20, f=3))
+        >>> result = dep.run()
+        >>> dep.agreement_ok and dep.all_correct_decided()
+        True
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        gst: float = 0.0,
+        chaos: Optional[ChaosPolicy] = None,
+        timeout_policy: Optional[TimeoutPolicy] = None,
+        values: Optional[Dict[ReplicaId, Value]] = None,
+        byzantine: Optional[Dict[ReplicaId, ByzantineFactory]] = None,
+        trace: bool = False,
+        duplicate_prob: float = 0.0,
+        track_bytes: bool = False,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            config.n,
+            latency=latency,
+            gst=gst,
+            chaos=chaos,
+            duplicate_prob=duplicate_prob,
+            duplicate_seed=seed,
+            track_bytes=track_bytes,
+        )
+        self.crypto = CryptoContext.create(
+            config.n, master_seed=digest("deployment", seed)
+        )
+        self.decisions: Dict[ReplicaId, Decision] = {}
+
+        byzantine = byzantine or {}
+        if len(byzantine) > config.f:
+            raise ValueError(
+                f"{len(byzantine)} Byzantine replicas exceeds f={config.f}"
+            )
+        self.byzantine_ids: FrozenSet[ReplicaId] = frozenset(byzantine)
+        values = values or {}
+
+        self.replicas: Dict[ReplicaId, object] = {}
+        for r in range(config.n):
+            transport = Transport(self.network, r)
+            if r in byzantine:
+                replica = byzantine[r](r, config, self.crypto, transport)
+            else:
+                replica = ProBFTReplica(
+                    replica_id=r,
+                    config=config,
+                    crypto=self.crypto,
+                    transport=transport,
+                    my_value=values.get(r, default_value(r)),
+                    timeout_policy=timeout_policy,
+                    on_decide=self._record_decision,
+                    trace=trace,
+                )
+            self.network.register(r, replica.on_message)
+            self.replicas[r] = replica
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for replica in self.replicas.values():
+            replica.start()
+
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_events: int = 5_000_000,
+        stop_when_decided: bool = True,
+    ) -> "ProBFTDeployment":
+        """Run until every correct replica decides (or a budget runs out)."""
+        self.start()
+        stop = self.all_correct_decided if stop_when_decided else None
+        self.sim.run(until=max_time, max_events=max_events, stop_when=stop)
+        return self
+
+    def _record_decision(self, decision: Decision) -> None:
+        self.decisions[decision.replica] = decision
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def correct_ids(self) -> FrozenSet[ReplicaId]:
+        return frozenset(range(self.config.n)) - self.byzantine_ids
+
+    def correct_replicas(self) -> Dict[ReplicaId, ProBFTReplica]:
+        return {
+            r: replica
+            for r, replica in self.replicas.items()
+            if r in self.correct_ids
+        }
+
+    def all_correct_decided(self) -> bool:
+        return all(r in self.decisions for r in self.correct_ids)
+
+    def decided_values(self) -> Set[Value]:
+        """Distinct values decided by *correct* replicas."""
+        return {
+            d.value for r, d in self.decisions.items() if r in self.correct_ids
+        }
+
+    @property
+    def agreement_ok(self) -> bool:
+        """True iff correct replicas decided at most one distinct value."""
+        return len(self.decided_values()) <= 1
+
+    @property
+    def max_decision_view(self) -> int:
+        views = [
+            d.view for r, d in self.decisions.items() if r in self.correct_ids
+        ]
+        return max(views, default=0)

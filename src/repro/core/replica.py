@@ -1,0 +1,467 @@
+"""The ProBFT replica state machine (Algorithm 1, line for line).
+
+State (Algorithm 1):
+
+* per-view: ``curView``, ``curVal``, ``voted``, ``blockView``, ``proposal``;
+* persistent: ``preparedView``, ``preparedVal``, ``cert`` (the prepared
+  certificate), and the decision once made.
+
+Handlers map to the algorithm's "upon" clauses:
+
+* :meth:`_on_new_view`       — lines 1–5 (synchronizer upcall);
+* :meth:`_handle_new_leader` — lines 6–12 (leader collects a deterministic
+  quorum of NewLeader messages and proposes);
+* :meth:`_handle_propose`    — lines 13–16 (vote by multicasting Prepare to a
+  VRF sample);
+* :meth:`_handle_prepare`    — lines 17–20 (probabilistic prepare quorum →
+  prepared certificate → multicast Commit to a fresh VRF sample);
+* :meth:`_handle_commit`     — lines 21–22 (probabilistic commit quorum →
+  decide);
+* :meth:`_check_equivocation`— lines 23–25 (any message carrying a
+  leader-signed statement conflicting with ``curVal`` blocks the view and
+  gossips the evidence).
+
+Messages for future views are buffered (bounded) and replayed on view entry;
+messages for past views are dropped — the paper's "a receiver will only
+accept a message if its own view matches the view of the sender".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..config import ProtocolConfig
+from ..crypto.context import CryptoContext
+from ..crypto.signatures import Signed
+from ..crypto.vrf import VRFOutput, phase_seed
+from ..messages.base import ProposalStatement
+from ..messages.probft import Commit, NewLeader, Prepare, Propose, extract_statement
+from ..net.transport import Transport
+from ..quorum.deterministic import DeterministicQuorumCollector
+from ..quorum.probabilistic import ProbabilisticQuorumCollector
+from ..sync.synchronizer import ViewSynchronizer, Wish
+from ..sync.timeouts import TimeoutPolicy
+from ..types import Decision, ReplicaId, TraceEvent, Value, View
+
+#: How far ahead of the current view messages are buffered instead of dropped.
+FUTURE_VIEW_WINDOW = 2
+
+#: Cap on buffered messages per future view (DoS guard).
+FUTURE_BUFFER_LIMIT = 4096
+
+DecisionCallback = Callable[[Decision], None]
+
+
+class ProBFTReplica:
+    """A correct ProBFT replica."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        config: ProtocolConfig,
+        crypto: CryptoContext,
+        transport: Transport,
+        my_value: Value,
+        timeout_policy: Optional[TimeoutPolicy] = None,
+        on_decide: Optional[DecisionCallback] = None,
+        trace: bool = False,
+    ) -> None:
+        self.id = replica_id
+        self.config = config
+        self._crypto = crypto
+        self._transport = transport
+        self._my_value = my_value
+        self._on_decide = on_decide
+        self._trace_enabled = trace
+        self.trace: List[TraceEvent] = []
+
+        self._sync = ViewSynchronizer(
+            transport=transport,
+            f=config.f,
+            signatures=crypto.signatures,
+            on_new_view=self._on_new_view,
+            timeout_policy=timeout_policy,
+            domain=config.seed_domain,
+        )
+
+        # --- per-view state (Algorithm 1 line 1) ---
+        self._cur_view: View = 0
+        self._cur_val: Optional[Value] = None
+        self._voted: bool = False
+        self._block_view: bool = False
+        self._proposal: Optional[Signed] = None  # accepted Signed[Propose]
+
+        # --- persistent state ---
+        self._prepared_view: View = 0
+        self._prepared_value: Optional[Value] = None
+        self._cert: Tuple[Signed, ...] = ()
+        self._decision: Optional[Decision] = None
+
+        # --- bookkeeping ---
+        self._prepare_collectors: Dict[View, ProbabilisticQuorumCollector] = {}
+        self._commit_collectors: Dict[View, ProbabilisticQuorumCollector] = {}
+        self._new_leader_collectors: Dict[View, DeterministicQuorumCollector] = {}
+        self._proposed_views: Set[View] = set()
+        self._committed_views: Set[View] = set()
+        self._future_buffer: Dict[View, List[Tuple[ReplicaId, Signed]]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def decision(self) -> Optional[Decision]:
+        """The replica's decision, if it has decided."""
+        return self._decision
+
+    @property
+    def current_view(self) -> View:
+        return self._cur_view
+
+    @property
+    def prepared_view(self) -> View:
+        return self._prepared_view
+
+    @property
+    def prepared_value(self) -> Optional[Value]:
+        return self._prepared_value
+
+    @property
+    def view_blocked(self) -> bool:
+        return self._block_view
+
+    def start(self) -> None:
+        """Boot the replica: enter view 1 through the synchronizer."""
+        self._sync.start()
+
+    def stop(self) -> None:
+        self._sync.stop()
+
+    def on_message(self, src: ReplicaId, message: object) -> None:
+        """Network delivery entry point."""
+        if not isinstance(message, Signed):
+            return  # correct replicas only process signed messages (§2.1)
+        payload = message.payload
+        if isinstance(payload, Wish):
+            self._sync.on_wish(src, message)
+            return
+        view = self._view_of(payload)
+        if view is None:
+            return
+        if view < self._cur_view or self._cur_view == 0:
+            return  # stale (or not yet started)
+        if view > self._cur_view:
+            self._buffer_future(view, src, message)
+            return
+        self._process_current(src, message)
+
+    # ------------------------------------------------------------------
+    # Dispatch helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _view_of(payload: object) -> Optional[View]:
+        if isinstance(payload, (Propose, NewLeader)):
+            return payload.view
+        if isinstance(payload, (Prepare, Commit)):
+            statement = payload.statement
+            inner = getattr(statement, "payload", None)
+            if isinstance(inner, ProposalStatement):
+                return inner.view
+        return None
+
+    def _buffer_future(self, view: View, src: ReplicaId, message: Signed) -> None:
+        if view > self._cur_view + FUTURE_VIEW_WINDOW:
+            return
+        bucket = self._future_buffer.setdefault(view, [])
+        if len(bucket) < FUTURE_BUFFER_LIMIT:
+            bucket.append((src, message))
+
+    def _process_current(self, src: ReplicaId, message: Signed) -> None:
+        self._check_equivocation(message)
+        payload = message.payload
+        if isinstance(payload, Propose):
+            self._handle_propose(src, message)
+        elif isinstance(payload, Prepare):
+            self._handle_prepare(src, message)
+        elif isinstance(payload, Commit):
+            self._handle_commit(src, message)
+        elif isinstance(payload, NewLeader):
+            self._handle_new_leader(src, message)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 1-5: newView
+    # ------------------------------------------------------------------
+    def _on_new_view(self, view: View) -> None:
+        self._cur_view = view
+        self._cur_val = None
+        self._voted = False
+        self._block_view = False
+        self._proposal = None
+        self._prune(view)
+        self._trace("new-view", view=view)
+
+        if view == 1:
+            if self.id == self._leader(view):
+                self._propose(self._my_value, justification=None)
+        else:
+            new_leader = NewLeader(
+                view=view,
+                prepared_view=self._prepared_view,
+                prepared_value=self._prepared_value,
+                cert=self._cert,
+                domain=self.config.seed_domain,
+            )
+            signed = self._sign(new_leader)
+            self._send_or_local(self._leader(view), signed)
+        self._replay_buffered(view)
+
+    def _replay_buffered(self, view: View) -> None:
+        pending = self._future_buffer.pop(view, [])
+        for src, message in pending:
+            # Schedule at zero delay so replay happens after the current
+            # handler completes (keeps handlers non-reentrant).
+            self._transport.schedule(
+                0.0, lambda s=src, m=message: self.on_message(s, m)
+            )
+
+    def _prune(self, view: View) -> None:
+        for table in (
+            self._prepare_collectors,
+            self._commit_collectors,
+            self._new_leader_collectors,
+        ):
+            for old in [v for v in table if v < view]:
+                del table[old]
+        # Strictly-older buffers only: the entry for `view` itself is about
+        # to be replayed by _replay_buffered.
+        for old in [v for v in self._future_buffer if v < view]:
+            del self._future_buffer[old]
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 6-12: the leader's proposal
+    # ------------------------------------------------------------------
+    def _handle_new_leader(self, src: ReplicaId, signed: Signed) -> None:
+        view = self._cur_view
+        if self.id != self._leader(view) or view <= 1:
+            return
+        if view in self._proposed_views:
+            return
+        from .predicates import valid_new_leader
+
+        if not valid_new_leader(signed, view, self.config, self._crypto):
+            return
+        collector = self._new_leader_collectors.setdefault(
+            view, DeterministicQuorumCollector(self.config.n, self.config.f)
+        )
+        if collector.add(view, signed.signer, signed):
+            from .leader import compute_proposal
+
+            quorum = collector.quorum_messages(view)
+            value, _v_max = compute_proposal(quorum, self._my_value)
+            self._propose(value, justification=tuple(quorum))
+
+    def _propose(self, value: Value, justification: Optional[Tuple[Signed, ...]]) -> None:
+        view = self._cur_view
+        self._proposed_views.add(view)
+        statement = self._sign(
+            ProposalStatement(view=view, value=value, domain=self.config.seed_domain)
+        )
+        propose = Propose(view=view, statement=statement, justification=justification)
+        signed = self._sign(propose)
+        self._trace("propose", view=view, value=value)
+        self._transport.broadcast(signed)
+        self._deliver_local(signed)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 13-16: Propose -> Prepare
+    # ------------------------------------------------------------------
+    def _handle_propose(self, src: ReplicaId, signed: Signed) -> None:
+        if self._block_view or self._voted:
+            return
+        from .predicates import safe_proposal
+
+        if not safe_proposal(signed, self.config, self._crypto):
+            return
+        propose: Propose = signed.payload
+        view = self._cur_view
+        value = propose.value
+        self._cur_val = value
+        self._voted = True
+        self._proposal = signed
+        self._trace("vote", view=view, value=value)
+
+        sample = self._crypto.vrf.prove(
+            self.id,
+            phase_seed(view, "prepare", self.config.seed_domain),
+            self.config.sample_size,
+        )
+        prepare = Prepare(statement=propose.statement, sample=sample)
+        self._multicast_sample(sample, self._sign(prepare))
+        # A prepare quorum may already be sitting in the collector.
+        self._try_form_prepared()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 17-20: Prepare quorum -> Commit
+    # ------------------------------------------------------------------
+    def _handle_prepare(self, src: ReplicaId, signed: Signed) -> None:
+        if self._block_view:
+            return
+        prepare = signed.payload
+        if not self._verify_vote(signed, prepare, "prepare"):
+            return
+        view = self._cur_view
+        collector = self._prepare_collectors.setdefault(
+            view, ProbabilisticQuorumCollector(self.config.q)
+        )
+        collector.add(prepare.value, signed.signer, signed)
+        self._try_form_prepared()
+
+    def _try_form_prepared(self) -> None:
+        view = self._cur_view
+        if self._block_view or not self._voted or view in self._committed_views:
+            return
+        collector = self._prepare_collectors.get(view)
+        if collector is None or not collector.has_quorum(self._cur_val):
+            return
+        # Lines 18-20: store the prepared certificate, multicast Commit.
+        self._prepared_value = self._cur_val
+        self._prepared_view = view
+        self._cert = collector.quorum_messages(self._cur_val)
+        self._committed_views.add(view)
+        self._trace("prepared", view=view, value=self._cur_val)
+
+        sample = self._crypto.vrf.prove(
+            self.id,
+            phase_seed(view, "commit", self.config.seed_domain),
+            self.config.sample_size,
+        )
+        assert self._proposal is not None
+        commit = Commit(statement=self._proposal.payload.statement, sample=sample)
+        self._multicast_sample(sample, self._sign(commit))
+        self._try_decide()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 21-22: Commit quorum -> decide
+    # ------------------------------------------------------------------
+    def _handle_commit(self, src: ReplicaId, signed: Signed) -> None:
+        if self._block_view:
+            return
+        commit = signed.payload
+        if not self._verify_vote(signed, commit, "commit"):
+            return
+        view = self._cur_view
+        collector = self._commit_collectors.setdefault(
+            view, ProbabilisticQuorumCollector(self.config.q)
+        )
+        collector.add(commit.value, signed.signer, signed)
+        self._try_decide()
+
+    def _try_decide(self) -> None:
+        if self._decision is not None or self._block_view:
+            return
+        view = self._cur_view
+        value = self._prepared_value
+        if value is None or self._prepared_view != view:
+            return
+        collector = self._commit_collectors.get(view)
+        if collector is None or not collector.has_quorum(value):
+            return
+        self._decision = Decision(
+            replica=self.id, value=value, view=view, time=self._transport.now
+        )
+        self._trace("decide", view=view, value=value)
+        if self._on_decide is not None:
+            self._on_decide(self._decision)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 23-25: equivocation detection
+    # ------------------------------------------------------------------
+    def _check_equivocation(self, message: Signed) -> None:
+        if self._block_view or not self._voted:
+            return
+        statement = extract_statement(message.payload)
+        if statement is None:
+            return
+        inner = statement.payload
+        if not isinstance(inner, ProposalStatement):
+            return
+        view = self._cur_view
+        if inner.view != view or inner.domain != self.config.seed_domain:
+            return
+        if statement.signer != self._leader(view):
+            return
+        if inner.value == self._cur_val:
+            return
+        if not self._crypto.signatures.verify(statement):
+            return
+        # The leader provably signed two different values for this view.
+        self._block_view = True
+        self._trace(
+            "block-view", view=view, ours=self._cur_val, theirs=inner.value
+        )
+        self._transport.broadcast(message)
+        if self._proposal is not None:
+            self._transport.broadcast(self._proposal)
+
+    # ------------------------------------------------------------------
+    # Validation and plumbing
+    # ------------------------------------------------------------------
+    def _verify_vote(self, signed: Signed, vote: object, phase_tag: str) -> bool:
+        """Shared Prepare/Commit validation (signatures, VRF, membership)."""
+        if not isinstance(vote, (Prepare, Commit)):
+            return False
+        if not self._crypto.signatures.verify(signed):
+            return False
+        statement = vote.statement
+        if not self._crypto.signatures.verify(statement):
+            return False
+        inner = statement.payload
+        if not isinstance(inner, ProposalStatement):
+            return False
+        view = inner.view
+        if view != self._cur_view or inner.domain != self.config.seed_domain:
+            return False
+        if statement.signer != self._leader(view):
+            return False
+        sample: VRFOutput = vote.sample
+        if self.id not in sample.sample:
+            return False  # line 17/21 precondition: i ∈ S
+        seed = phase_seed(view, phase_tag, self.config.seed_domain)
+        return self._crypto.vrf.verify(
+            signed.signer, seed, self.config.sample_size, sample
+        )
+
+    def _leader(self, view: View) -> ReplicaId:
+        from .leader import leader_of_view
+
+        return leader_of_view(view, self.config.n)
+
+    def _sign(self, payload: object) -> Signed:
+        return self._crypto.signatures.sign(self.id, payload)
+
+    def _send_or_local(self, dst: ReplicaId, message: Signed) -> None:
+        if dst == self.id:
+            self._deliver_local(message)
+        else:
+            self._transport.send(dst, message)
+
+    def _multicast_sample(self, sample: VRFOutput, message: Signed) -> None:
+        others = [dst for dst in sample.sample if dst != self.id]
+        self._transport.multicast(others, message)
+        if self.id in sample.sample:
+            self._deliver_local(message)
+
+    def _deliver_local(self, message: Signed) -> None:
+        self._transport.schedule(
+            0.0, lambda: self.on_message(self.id, message)
+        )
+
+    def _trace(self, kind: str, **detail) -> None:
+        if self._trace_enabled:
+            self.trace.append(
+                TraceEvent(
+                    time=self._transport.now,
+                    replica=self.id,
+                    kind=kind,
+                    detail=detail,
+                )
+            )

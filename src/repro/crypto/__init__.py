@@ -1,0 +1,33 @@
+"""Simulated cryptographic substrate.
+
+The paper assumes a PKI (per-replica signing keys, §2.1) and a globally known
+verifiable random function (VRF, §2.4).  Real asymmetric cryptography is not
+needed to reproduce the protocol's behaviour in simulation, so this package
+implements *behaviourally faithful* stand-ins (see DESIGN.md, Substitutions):
+
+* :mod:`repro.crypto.keys` — key pairs and a trusted :class:`KeyRegistry`
+  (the simulation's trusted computing base, standing in for the mathematics
+  of real signatures/VRFs).
+* :mod:`repro.crypto.signatures` — deterministic, tamper-evident signatures.
+* :mod:`repro.crypto.vrf` — ``VRF_prove`` / ``VRF_verify`` exactly as in §2.4,
+  with uniqueness, collision resistance and pseudorandomness against
+  in-simulation adversaries.
+* :mod:`repro.crypto.hashing` — canonical serialization + digest helpers.
+"""
+
+from .hashing import digest, digest_hex, stable_encode
+from .keys import KeyPair, KeyRegistry
+from .signatures import SignatureScheme, Signed
+from .vrf import VRF, VRFOutput
+
+__all__ = [
+    "digest",
+    "digest_hex",
+    "stable_encode",
+    "KeyPair",
+    "KeyRegistry",
+    "SignatureScheme",
+    "Signed",
+    "VRF",
+    "VRFOutput",
+]

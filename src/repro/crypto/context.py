@@ -1,0 +1,36 @@
+"""Bundled crypto services for one deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .keys import KeyRegistry
+from .signatures import SignatureScheme
+from .vrf import VRF
+
+
+@dataclass(frozen=True)
+class CryptoContext:
+    """Registry + signature scheme + VRF, created from one master seed.
+
+    Every replica (and the adversary, for its corrupted replicas) shares one
+    context per deployment, mirroring the paper's "keys are distributed
+    before the system starts" assumption (§2.1).
+    """
+
+    registry: KeyRegistry
+    signatures: SignatureScheme
+    vrf: VRF
+
+    @staticmethod
+    def create(n: int, master_seed: bytes = b"repro-probft") -> "CryptoContext":
+        registry = KeyRegistry(n, master_seed)
+        return CryptoContext(
+            registry=registry,
+            signatures=SignatureScheme(registry),
+            vrf=VRF(registry),
+        )
+
+    @property
+    def n(self) -> int:
+        return self.registry.n

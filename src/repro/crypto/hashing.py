@@ -1,0 +1,67 @@
+"""Canonical serialization and hashing helpers.
+
+All signatures and VRF outputs in the simulation are computed over a
+*canonical encoding* of Python values, so two structurally equal messages
+always hash identically regardless of construction order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_SEPARATOR = b"\x1f"
+
+
+def stable_encode(value: Any) -> bytes:
+    """Encode ``value`` into a canonical byte string.
+
+    Supports the types that appear in protocol messages: ``bytes``, ``str``,
+    ``int``, ``float``, ``bool``, ``None``, and (possibly nested) tuples,
+    lists, dicts (sorted by encoded key), sets/frozensets (sorted), and enums
+    or dataclass-like objects exposing ``canonical()``.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):  # must precede int check
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode()
+    if isinstance(value, float):
+        return b"F" + repr(value).encode()
+    if isinstance(value, bytes):
+        return b"Y" + len(value).to_bytes(8, "big") + value
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"S" + len(raw).to_bytes(8, "big") + raw
+    if isinstance(value, (tuple, list)):
+        parts = [stable_encode(v) for v in value]
+        return b"L" + len(parts).to_bytes(8, "big") + _SEPARATOR.join(parts)
+    if isinstance(value, (set, frozenset)):
+        parts = sorted(stable_encode(v) for v in value)
+        return b"T" + len(parts).to_bytes(8, "big") + _SEPARATOR.join(parts)
+    if isinstance(value, dict):
+        items = sorted((stable_encode(k), stable_encode(v)) for k, v in value.items())
+        parts = [k + _SEPARATOR + v for k, v in items]
+        return b"D" + len(parts).to_bytes(8, "big") + _SEPARATOR.join(parts)
+    canonical = getattr(value, "canonical", None)
+    if callable(canonical):
+        return b"C" + stable_encode(canonical())
+    if hasattr(value, "value") and type(value).__module__ != "builtins":
+        # Enum-like: encode by class name + value.
+        return b"E" + stable_encode((type(value).__name__, value.value))
+    raise TypeError(f"cannot canonically encode {type(value).__name__}: {value!r}")
+
+
+def digest(*parts: Any) -> bytes:
+    """SHA-256 digest over the canonical encoding of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(stable_encode(part))
+        h.update(_SEPARATOR)
+    return h.digest()
+
+
+def digest_hex(*parts: Any) -> str:
+    """Hex form of :func:`digest` (handy in traces and tests)."""
+    return digest(*parts).hex()

@@ -1,0 +1,82 @@
+"""Simulated digital signatures.
+
+The paper (§2.1): every replica signs outgoing messages; receivers only
+process messages whose signature verifies against the sender's public key.
+
+Implementation: ``sign(sk, payload) = SHA256(sk ‖ canonical(payload))``.
+Verification recomputes the tag through the trusted :class:`KeyRegistry`
+(which alone can map a replica ID back to its private key).  Against
+in-simulation adversaries — who never hold a correct replica's private key —
+this scheme is existentially unforgeable and tamper-evident, which is all the
+protocol relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, TypeVar
+
+from ..errors import SignatureError
+from ..types import ReplicaId
+from .hashing import digest
+from .keys import KeyRegistry
+
+T = TypeVar("T")
+
+_DOMAIN = "repro-signature-v1"
+
+
+@dataclass(frozen=True)
+class Signed(Generic[T]):
+    """A payload together with its producing replica and signature.
+
+    This is the code form of the paper's ``⟨T, m⟩_i`` notation.  The payload
+    must be canonically encodable (see :func:`repro.crypto.hashing.stable_encode`).
+    """
+
+    payload: T
+    signer: ReplicaId
+    signature: bytes
+
+    def canonical(self) -> Any:
+        return ("signed", self.payload, self.signer, self.signature)
+
+
+class SignatureScheme:
+    """Sign/verify service bound to a :class:`KeyRegistry`."""
+
+    def __init__(self, registry: KeyRegistry) -> None:
+        self._registry = registry
+
+    def sign_with(self, private_key: bytes, signer: ReplicaId, payload: Any) -> Signed:
+        """Sign ``payload`` with an explicitly supplied private key.
+
+        Used by replicas (their own key) and by adversaries (corrupted keys
+        only).  Signing with a key that does not belong to ``signer`` produces
+        a signature that will never verify — exactly like forging.
+        """
+        tag = digest(_DOMAIN, private_key, signer, payload)
+        return Signed(payload=payload, signer=signer, signature=tag)
+
+    def sign(self, signer: ReplicaId, payload: Any) -> Signed:
+        """Sign as ``signer`` using the registry's key for it (honest path)."""
+        key = self._registry.key_pair(signer).private_key
+        return self.sign_with(key, signer, payload)
+
+    def verify(self, signed: Signed) -> bool:
+        """Check that ``signed.signature`` is valid for ``signed.payload``."""
+        try:
+            key = self._registry._private_key_of(signed.signer)
+        except Exception:
+            return False
+        expected = digest(_DOMAIN, key, signed.signer, signed.payload)
+        return expected == signed.signature
+
+    def require_valid(self, signed: Signed) -> Signed:
+        """Like :meth:`verify` but raises :class:`SignatureError` on failure."""
+        if not self.verify(signed):
+            raise SignatureError(
+                f"invalid signature from replica {signed.signer} "
+                f"over payload {signed.payload!r}"
+            )
+        return signed

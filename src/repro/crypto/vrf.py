@@ -1,0 +1,163 @@
+"""Verifiable random function (paper §2.4).
+
+Operations::
+
+    VRF_prove(sk_i, seed, s)              -> (sample S_i, proof P_i)
+    VRF_verify(pk_i, seed, s, S_i, P_i)   -> bool
+
+The sample contains ``s`` *distinct* replica IDs drawn uniformly at random
+(without replacement) from ``Π = {0..n-1}``.
+
+Simulation construction (see DESIGN.md, Substitutions): the prover derives a
+sampler key ``k = SHA256(sk_i ‖ seed ‖ s)`` and performs a deterministic
+partial Fisher–Yates shuffle keyed by ``k``; the proof is ``k`` itself.
+Verification recomputes ``k`` through the trusted registry and replays the
+shuffle.  The paper's three guarantees hold against in-simulation adversaries:
+
+* **Uniqueness** — ``k`` (hence the sample) is a function of ``(sk, seed, s)``.
+* **Collision resistance** — distinct seeds give independent SHA-256 keys.
+* **Pseudorandomness** — without ``sk_i`` the sample is unpredictable; the
+  shuffle is keyed by a hash the adversary cannot evaluate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from ..errors import VRFError
+from ..types import ReplicaId
+from .hashing import digest
+from .keys import KeyRegistry
+
+_DOMAIN = "repro-vrf-v1"
+
+
+@dataclass(frozen=True)
+class VRFOutput:
+    """The result of ``VRF_prove``: a sample and its proof."""
+
+    sample: Tuple[ReplicaId, ...]
+    proof: bytes
+
+    def canonical(self) -> Any:
+        return ("vrf-output", tuple(self.sample), self.proof)
+
+    def __contains__(self, replica: ReplicaId) -> bool:
+        return replica in self.sample
+
+    def __len__(self) -> int:
+        return len(self.sample)
+
+
+class _KeyedStream:
+    """An expandable deterministic byte stream: SHA256(key ‖ counter) blocks."""
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+        self._counter = 0
+        self._buffer = b""
+
+    def next_uint(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        # Number of bytes needed to cover the bound, +1 to keep rejection rare.
+        nbytes = max(1, (bound.bit_length() + 7) // 8 + 1)
+        limit = (256**nbytes // bound) * bound
+        while True:
+            raw = self._take(nbytes)
+            value = int.from_bytes(raw, "big")
+            if value < limit:
+                return value % bound
+
+    def _take(self, nbytes: int) -> bytes:
+        while len(self._buffer) < nbytes:
+            block = hashlib.sha256(
+                self._key + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:nbytes], self._buffer[nbytes:]
+        return out
+
+
+def _sample_from_key(key: bytes, n: int, s: int) -> Tuple[ReplicaId, ...]:
+    """Partial Fisher–Yates draw of ``s`` distinct IDs from ``range(n)``."""
+    stream = _KeyedStream(key)
+    pool: List[int] = list(range(n))
+    for i in range(s):
+        j = i + stream.next_uint(n - i)
+        pool[i], pool[j] = pool[j], pool[i]
+    return tuple(pool[:s])
+
+
+class VRF:
+    """Globally known VRF bound to a :class:`KeyRegistry` (paper §2.4)."""
+
+    def __init__(self, registry: KeyRegistry) -> None:
+        self._registry = registry
+
+    @property
+    def n(self) -> int:
+        return self._registry.n
+
+    def _sampler_key(self, private_key: bytes, seed: str, s: int) -> bytes:
+        return digest(_DOMAIN, private_key, seed, s)
+
+    def prove_with(
+        self, private_key: bytes, replica: ReplicaId, seed: str, s: int
+    ) -> VRFOutput:
+        """``VRF_prove`` with an explicit private key (honest or corrupted)."""
+        if not 1 <= s <= self.n:
+            raise VRFError(f"sample size must be in [1, n={self.n}], got {s}")
+        key = self._sampler_key(private_key, seed, s)
+        sample = _sample_from_key(key, self.n, s)
+        return VRFOutput(sample=sample, proof=key)
+
+    def prove(self, replica: ReplicaId, seed: str, s: int) -> VRFOutput:
+        """``VRF_prove(K_p,i, z, s) → (S_i, P_i)`` using the registry's key."""
+        private_key = self._registry.key_pair(replica).private_key
+        return self.prove_with(private_key, replica, seed, s)
+
+    def verify(
+        self, replica: ReplicaId, seed: str, s: int, output: VRFOutput
+    ) -> bool:
+        """``VRF_verify(K_u,i, z, s, S_i, P_i) → bool``.
+
+        Checks that (a) the proof is the unique sampler key for
+        ``(replica, seed, s)`` and (b) the sample is the shuffle it induces.
+        """
+        if len(output.sample) != s:
+            return False
+        try:
+            private_key = self._registry._private_key_of(replica)
+        except Exception:
+            return False
+        expected_key = self._sampler_key(private_key, seed, s)
+        if expected_key != output.proof:
+            return False
+        return _sample_from_key(expected_key, self.n, s) == tuple(output.sample)
+
+    def require_valid(
+        self, replica: ReplicaId, seed: str, s: int, output: VRFOutput
+    ) -> VRFOutput:
+        """Like :meth:`verify` but raises :class:`VRFError` on failure."""
+        if not self.verify(replica, seed, s, output):
+            raise VRFError(
+                f"invalid VRF output from replica {replica} for seed {seed!r}"
+            )
+        return output
+
+
+def phase_seed(view: int, phase_tag: str, domain: str = "") -> str:
+    """The protocol-mandated VRF seed ``v ‖ T`` (paper §3.1).
+
+    ``phase_tag`` is "prepare" for Prepare and "commit" for Commit messages.
+    ``domain`` scopes seeds to one consensus instance (the SMR extension
+    runs one instance per slot); the paper's single-shot setting uses "".
+    """
+    if domain:
+        return f"{domain}#{view}||{phase_tag}"
+    return f"{view}||{phase_tag}"

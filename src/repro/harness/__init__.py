@@ -1,0 +1,38 @@
+"""Experiment harness: run protocols, collect metrics, canned scenarios.
+
+* :mod:`repro.harness.runner` — one-call protocol runs returning a uniform
+  :class:`RunResult` (decisions, message counts, steps, views).
+* :mod:`repro.harness.metrics` — statistics helpers (Wilson intervals,
+  summaries) for Monte-Carlo experiments.
+* :mod:`repro.harness.scenarios` — named scenario builders used by tests,
+  examples, and benchmarks.
+"""
+
+from .runner import RunResult, run_probft, run_pbft, run_hotstuff, good_case_metrics
+from .metrics import mean, stddev, wilson_interval, ProportionEstimate
+from .scenarios import (
+    happy_case,
+    silent_leader_case,
+    crash_case,
+    pre_gst_chaos_case,
+    equivocation_case,
+    flooding_case,
+)
+
+__all__ = [
+    "RunResult",
+    "run_probft",
+    "run_pbft",
+    "run_hotstuff",
+    "good_case_metrics",
+    "mean",
+    "stddev",
+    "wilson_interval",
+    "ProportionEstimate",
+    "happy_case",
+    "silent_leader_case",
+    "crash_case",
+    "pre_gst_chaos_case",
+    "equivocation_case",
+    "flooding_case",
+]

@@ -1,0 +1,70 @@
+"""Statistics helpers for empirical experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (NaN for empty input)."""
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because our proportions sit very
+    close to 0 or 1 (agreement-violation probabilities are ~exp(−Θ(√n))).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range [0, {trials}]")
+    p = successes / trials
+    denom = 1 + z**2 / trials
+    center = (p + z**2 / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+@dataclass(frozen=True)
+class ProportionEstimate:
+    """An empirical proportion with its Wilson 95% confidence interval."""
+
+    successes: int
+    trials: int
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.trials if self.trials else float("nan")
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    def compatible_with(self, probability: float) -> bool:
+        """Whether ``probability`` lies inside the confidence interval."""
+        low, high = self.interval
+        return low <= probability <= high
+
+    def __str__(self) -> str:
+        low, high = self.interval
+        return f"{self.point:.4f} [{low:.4f}, {high:.4f}] ({self.trials} trials)"

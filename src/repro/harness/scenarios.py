@@ -1,0 +1,116 @@
+"""Named scenario builders.
+
+Each returns a ready-to-run :class:`~repro.core.protocol.ProBFTDeployment`
+(plus scenario-specific extras), so tests/examples/benches share one source
+of truth for "what a silent-leader run looks like".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..adversary.behaviors import crash_factory, silent_factory
+from ..adversary.equivocation import SplitStrategy
+from ..adversary.flooding import flooding_factory
+from ..adversary.plans import equivocation_attack_deployment
+from ..config import ProtocolConfig
+from ..core.protocol import ProBFTDeployment
+from ..net.faults import PreGstChaos
+from ..net.latency import ConstantLatency, UniformLatency
+from ..sync.timeouts import FixedTimeout, TimeoutPolicy
+
+
+def happy_case(
+    config: ProtocolConfig, seed: int = 0
+) -> ProBFTDeployment:
+    """All replicas correct, synchronous network, unit latency."""
+    return ProBFTDeployment(config, seed=seed, latency=ConstantLatency(1.0))
+
+
+def silent_leader_case(
+    config: ProtocolConfig,
+    seed: int = 0,
+    timeout_policy: Optional[TimeoutPolicy] = None,
+) -> ProBFTDeployment:
+    """The leader of view 1 is Byzantine-silent: forces a view change."""
+    return ProBFTDeployment(
+        config,
+        seed=seed,
+        latency=ConstantLatency(1.0),
+        timeout_policy=timeout_policy or FixedTimeout(20.0),
+        byzantine={0: silent_factory()},
+    )
+
+
+def crash_case(
+    config: ProtocolConfig,
+    seed: int = 0,
+    n_crashes: Optional[int] = None,
+    crash_time: float = 1.5,
+) -> ProBFTDeployment:
+    """``n_crashes`` replicas (default f) crash mid-protocol.
+
+    Crashing replicas are taken from the end of the ID range so the view-1
+    leader survives.
+    """
+    n_crashes = n_crashes if n_crashes is not None else config.f
+    byzantine = {
+        r: crash_factory(crash_time)
+        for r in range(config.n - n_crashes, config.n)
+    }
+    return ProBFTDeployment(
+        config,
+        seed=seed,
+        latency=ConstantLatency(1.0),
+        timeout_policy=FixedTimeout(30.0),
+        byzantine=byzantine,
+    )
+
+
+def pre_gst_chaos_case(
+    config: ProtocolConfig,
+    seed: int = 0,
+    gst: float = 60.0,
+    max_extra: float = 40.0,
+) -> ProBFTDeployment:
+    """Asynchronous start: pre-GST messages suffer large random delays."""
+    return ProBFTDeployment(
+        config,
+        seed=seed,
+        latency=UniformLatency(0.5, 1.5, seed=seed),
+        gst=gst,
+        chaos=PreGstChaos(max_extra=max_extra, seed=seed),
+        timeout_policy=FixedTimeout(25.0),
+    )
+
+
+def equivocation_case(
+    config: ProtocolConfig,
+    seed: int = 0,
+    strategy: Optional[SplitStrategy] = None,
+) -> Tuple[ProBFTDeployment, SplitStrategy]:
+    """The paper's optimal within-view attack (Figure 4c)."""
+    return equivocation_attack_deployment(
+        config,
+        seed=seed,
+        latency=ConstantLatency(1.0),
+        timeout_policy=FixedTimeout(20.0),
+        strategy=strategy,
+    )
+
+
+def flooding_case(
+    config: ProtocolConfig, seed: int = 0, n_flooders: int = 1
+) -> ProBFTDeployment:
+    """Flooders spray invalid votes; correct replicas must be unaffected."""
+    byzantine = {
+        r: flooding_factory()
+        for r in range(config.n - n_flooders, config.n)
+    }
+    return ProBFTDeployment(
+        config,
+        seed=seed,
+        latency=ConstantLatency(1.0),
+        timeout_policy=FixedTimeout(30.0),
+        byzantine=byzantine,
+    )

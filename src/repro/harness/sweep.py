@@ -1,0 +1,97 @@
+"""Parameter sweep utilities.
+
+A tiny grid-runner used by the benchmarks and examples: define axes, map a
+function over the grid, and collect rows suitable for
+:func:`repro.harness.tables.render_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter grid."""
+
+    params: Mapping[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+    def as_row(self, keys: Sequence[str]) -> List[Any]:
+        return [self.params[k] for k in keys]
+
+
+@dataclass
+class SweepResult:
+    """All grid points with their computed outputs."""
+
+    axes: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    rows: List[Tuple[SweepPoint, Dict[str, Any]]] = field(default_factory=list)
+
+    def table_rows(self) -> List[List[Any]]:
+        """Rows of axis values followed by output values."""
+        return [
+            list(point.as_row(self.axes)) + [out[name] for name in self.outputs]
+            for point, out in self.rows
+        ]
+
+    @property
+    def headers(self) -> List[str]:
+        return list(self.axes) + list(self.outputs)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one axis or output, in grid order."""
+        if name in self.axes:
+            return [point[name] for point, _out in self.rows]
+        if name in self.outputs:
+            return [out[name] for _point, out in self.rows]
+        raise KeyError(name)
+
+    def filtered(self, **fixed: Any) -> "SweepResult":
+        """Sub-sweep where the given axes equal the given values."""
+        kept = [
+            (point, out)
+            for point, out in self.rows
+            if all(point[k] == v for k, v in fixed.items())
+        ]
+        return SweepResult(axes=self.axes, outputs=self.outputs, rows=kept)
+
+
+def run_sweep(
+    axes: Mapping[str, Iterable[Any]],
+    fn: Callable[[SweepPoint], Mapping[str, Any]],
+) -> SweepResult:
+    """Evaluate ``fn`` on the Cartesian product of ``axes``.
+
+    ``fn`` receives a :class:`SweepPoint` and returns a dict of outputs; all
+    points must return the same output keys.
+
+    Example:
+        >>> result = run_sweep(
+        ...     {"n": [4, 9]},
+        ...     lambda p: {"sqrt": p["n"] ** 0.5},
+        ... )
+        >>> result.column("sqrt")
+        [2.0, 3.0]
+    """
+    names = tuple(axes.keys())
+    grid = list(itertools.product(*(list(v) for v in axes.values())))
+    rows: List[Tuple[SweepPoint, Dict[str, Any]]] = []
+    outputs: Tuple[str, ...] = ()
+    for combo in grid:
+        point = SweepPoint(params=dict(zip(names, combo)))
+        out = dict(fn(point))
+        if not outputs:
+            outputs = tuple(out.keys())
+        elif tuple(out.keys()) != outputs:
+            raise ValueError(
+                f"inconsistent output keys at {point.params}: "
+                f"{tuple(out.keys())} != {outputs}"
+            )
+        rows.append((point, out))
+    return SweepResult(axes=names, outputs=outputs, rows=rows)

@@ -1,0 +1,89 @@
+"""Plain-text table/series rendering for benchmark and example output.
+
+The paper's figures are reproduced as printed tables (one row per x-value,
+one column per curve) plus a crude ASCII sparkline — enough to audit shape
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e7):
+            return f"{value:.3e}"
+        if abs(value - round(value)) < 1e-9 and abs(value) < 1e7:
+            return str(int(round(value)))
+        return f"{value:.6f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table."""
+    cells = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A one-line ASCII rendering of a numeric series (NaNs skipped)."""
+    clean = [v for v in values if not (isinstance(v, float) and math.isnan(v))]
+    if not clean:
+        return "(no data)"
+    lo, hi = min(clean), max(clean)
+    span = hi - lo or 1.0
+    # Resample to `width` points.
+    out = []
+    n = len(values)
+    for i in range(min(width, n)):
+        v = values[int(i * n / min(width, n))]
+        if isinstance(v, float) and math.isnan(v):
+            out.append("?")
+            continue
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out) + f"   [{format_cell(lo)} .. {format_cell(hi)}]"
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render multiple curves sharing an x-axis, plus sparklines."""
+    headers = [x_label] + list(series.keys())
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    table = render_table(headers, rows, title=title)
+    lines = [table, ""]
+    for name, values in series.items():
+        lines.append(f"  {name:<24} {sparkline(list(values))}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Protocol message definitions.
+
+* :mod:`repro.messages.base` — canonical-encoding mixin and the leader-signed
+  proposal statement ``⟨v, x⟩_leader`` shared by all leader-based protocols.
+* :mod:`repro.messages.probft` — ProBFT's Propose / Prepare / Commit /
+  NewLeader (Algorithm 1).
+* :mod:`repro.messages.pbft` — single-shot PBFT baseline messages.
+* :mod:`repro.messages.hotstuff` — single-shot HotStuff baseline messages.
+"""
+
+from .base import CanonicalMessage, ProposalStatement
+from .probft import Propose, Prepare, Commit, NewLeader
+from . import pbft, hotstuff
+
+__all__ = [
+    "CanonicalMessage",
+    "ProposalStatement",
+    "Propose",
+    "Prepare",
+    "Commit",
+    "NewLeader",
+    "pbft",
+    "hotstuff",
+]

@@ -1,0 +1,49 @@
+"""Message plumbing shared by all protocols."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..types import ReplicaId, Value, View
+
+
+class CanonicalMessage:
+    """Mixin giving dataclasses a canonical encoding for signing/hashing.
+
+    The encoding is ``(ClassName, field values...)``; nested messages and
+    crypto objects recurse through their own ``canonical()``.
+    """
+
+    def canonical(self) -> Any:
+        values = tuple(
+            getattr(self, f.name) for f in dataclasses.fields(self)  # type: ignore[arg-type]
+        )
+        return (type(self).__name__,) + values
+
+
+@dataclass(frozen=True)
+class ProposalStatement(CanonicalMessage):
+    """The leader-signed inner statement ``⟨v, x⟩_leader``.
+
+    Every Prepare/Commit message carries (a signed copy of) this statement,
+    which is what makes leader equivocation *provable*: two validly signed
+    statements for the same view with different values are evidence.
+
+    ``domain`` scopes the statement to one consensus instance (see
+    :attr:`repro.config.ProtocolConfig.seed_domain`).
+    """
+
+    view: View
+    value: Value
+    domain: str = ""
+
+    def conflicts_with(self, other: "ProposalStatement") -> bool:
+        """Same instance and view, different value — the equivocation
+        condition (Algorithm 1 line 23)."""
+        return (
+            self.domain == other.domain
+            and self.view == other.view
+            and self.value != other.value
+        )

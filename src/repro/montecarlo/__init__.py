@@ -1,0 +1,30 @@
+"""Monte-Carlo estimation of ProBFT's probabilistic guarantees.
+
+Vectorized (numpy) sampling experiments that replay the randomness of the
+VRF sampling layer millions of times, cross-checking the closed forms in
+:mod:`repro.analysis` — plus full-protocol estimators that run the actual
+discrete-event simulation.
+
+* :mod:`repro.montecarlo.sampling` — low-level vectorized draws.
+* :mod:`repro.montecarlo.experiments` — the estimators used by tests and the
+  Figure-5 benchmarks.
+"""
+
+from .sampling import inclusion_counts, sample_members
+from .experiments import (
+    MonteCarloResult,
+    estimate_prepare_quorum,
+    estimate_termination,
+    estimate_agreement_violation,
+    estimate_protocol_agreement,
+)
+
+__all__ = [
+    "inclusion_counts",
+    "sample_members",
+    "MonteCarloResult",
+    "estimate_prepare_quorum",
+    "estimate_termination",
+    "estimate_agreement_violation",
+    "estimate_protocol_agreement",
+]

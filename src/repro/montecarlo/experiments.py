@@ -1,0 +1,251 @@
+"""Monte-Carlo estimators for ProBFT's termination and agreement probabilities.
+
+Two levels of fidelity:
+
+* **sampling-level** estimators replay only the VRF-sampling randomness
+  (fast; thousands of trials) and mirror the events the paper's analysis
+  bounds — quorum formation chains, the optimal-split attack of Figure 4c;
+* **protocol-level** estimators run the full discrete-event simulation with
+  real Byzantine replicas, capturing everything the analysis conservatively
+  ignores (equivocation detection, view changes, safeProposal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import ProtocolConfig, probabilistic_quorum_size, vrf_sample_size
+from ..harness.metrics import ProportionEstimate
+from .sampling import inclusion_counts, membership_matrix
+
+
+@dataclass
+class MonteCarloResult:
+    """Outcome of a sampling-level experiment."""
+
+    trials: int
+    estimates: Dict[str, ProportionEstimate] = field(default_factory=dict)
+
+    def point(self, key: str) -> float:
+        return self.estimates[key].point
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"MonteCarloResult({self.trials} trials)"]
+        lines += [f"  {k}: {v}" for k, v in self.estimates.items()]
+        return "\n".join(lines)
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _sizes(n: int, o: float, l: float) -> tuple:
+    q = probabilistic_quorum_size(n, l)
+    s = vrf_sample_size(n, q, o)
+    return q, s
+
+
+def estimate_prepare_quorum(
+    n: int, f: int, o: float, l: float = 2.0, trials: int = 500, seed: int = 0
+) -> MonteCarloResult:
+    """Probability of forming a prepare quorum when all correct replicas send.
+
+    Estimates both the per-replica probability (Theorem 2 / Corollary 2's
+    target) and the all-correct-replicas-form event.
+    """
+    q, s = _sizes(n, o, l)
+    rng = _rng(seed)
+    n_correct = n - f
+    replica_hits = 0
+    all_hits = 0
+    for _ in range(trials):
+        counts = inclusion_counts(n, n_correct, s, rng)
+        formed = counts[:n_correct] >= q
+        replica_hits += int(formed[0])
+        all_hits += int(formed.all())
+    return MonteCarloResult(
+        trials=trials,
+        estimates={
+            "per_replica_quorum": ProportionEstimate(replica_hits, trials),
+            "all_correct_quorum": ProportionEstimate(all_hits, trials),
+        },
+    )
+
+
+def estimate_termination(
+    n: int, f: int, o: float, l: float = 2.0, trials: int = 500, seed: int = 0
+) -> MonteCarloResult:
+    """Termination in a correct-leader view (Figure 5 right panels).
+
+    Stage 1: all ``n−f`` correct replicas multicast Prepare; a correct
+    replica prepares iff ≥ q of those samples include it.  Stage 2: prepared
+    replicas multicast Commit; a replica decides iff it prepared and ≥ q
+    commit samples include it.  Byzantine replicas stay silent (the
+    worst case Theorem 2 mentions).
+    """
+    q, s = _sizes(n, o, l)
+    rng = _rng(seed)
+    n_correct = n - f
+    decide_hits = 0
+    all_decide_hits = 0
+    prepared_fracs = []
+    for _ in range(trials):
+        prep_counts = inclusion_counts(n, n_correct, s, rng)
+        prepared = prep_counts[:n_correct] >= q
+        m = int(prepared.sum())
+        prepared_fracs.append(m / n_correct)
+        commit_counts = inclusion_counts(n, m, s, rng)
+        decided = prepared & (commit_counts[:n_correct] >= q)
+        decide_hits += int(decided[0])
+        all_decide_hits += int(decided.all())
+    result = MonteCarloResult(
+        trials=trials,
+        estimates={
+            "per_replica_decides": ProportionEstimate(decide_hits, trials),
+            "all_correct_decide": ProportionEstimate(all_decide_hits, trials),
+        },
+    )
+    result.mean_prepared_fraction = float(np.mean(prepared_fracs))
+    return result
+
+
+def estimate_agreement_violation(
+    n: int,
+    f: int,
+    o: float,
+    l: float = 2.0,
+    trials: int = 2000,
+    seed: int = 0,
+    model_detection: bool = False,
+) -> MonteCarloResult:
+    """The optimal-split attack (Figure 4c) at the sampling level.
+
+    Correct replicas are split into halves C1/C2; Byzantine replicas support
+    both sides.  Reported events:
+
+    * ``side_decides_fixed``  — a fixed C1 replica decides val₁ (the factor
+      Lemma 5 bounds; violation ≈ this squared);
+    * ``violation_quorums``   — some C1 replica decides val₁ AND some C2
+      replica decides val₂, counting quorum formation only (the paper's
+      analysis target);
+    * with ``model_detection=True``, deciders that received any cross-side
+      vote are excluded first (``violation_detected`` — closer to the real
+      protocol, in which such replicas block the view instead of deciding).
+    """
+    q, s = _sizes(n, o, l)
+    rng = _rng(seed)
+    n_correct = n - f
+    half = n_correct // 2
+    # Layout: C1 = [0, half), C2 = [half, n_correct), F = [n_correct, n).
+    side_fixed_hits = 0
+    violation_hits = 0
+    violation_detected_hits = 0
+    for _ in range(trials):
+        # Prepare phase: side-1 senders are C1 + F, side-2 senders C2 + F.
+        m1 = membership_matrix(n, half, s, rng)  # C1 prepares (val1)
+        m2 = membership_matrix(n, n_correct - half, s, rng)  # C2 (val2)
+        mf = membership_matrix(n, f, s, rng)  # Byzantine (both values)
+        prep1_counts = m1.sum(axis=0) + mf.sum(axis=0)
+        prep2_counts = m2.sum(axis=0) + mf.sum(axis=0)
+        prepared1 = prep1_counts[:half] >= q
+        prepared2 = prep2_counts[half:n_correct] >= q
+
+        # Commit phase: committers are the prepared correct members + F.
+        c1 = membership_matrix(n, int(prepared1.sum()), s, rng)
+        c2 = membership_matrix(n, int(prepared2.sum()), s, rng)
+        cf = membership_matrix(n, f, s, rng)
+        commit1_counts = c1.sum(axis=0) + cf.sum(axis=0)
+        commit2_counts = c2.sum(axis=0) + cf.sum(axis=0)
+        decided1 = prepared1 & (commit1_counts[:half] >= q)
+        decided2 = prepared2 & (commit2_counts[half:n_correct] >= q)
+
+        side_fixed_hits += int(decided1[0]) if half else 0
+        violated = bool(decided1.any() and decided2.any())
+        violation_hits += int(violated)
+
+        if model_detection:
+            # A C1 replica touched by any val2 vote (from C2 or the
+            # committers of side 2) detects equivocation and blocks.
+            cross_to_c1 = (
+                m2.sum(axis=0)[:half] + c2.sum(axis=0)[:half]
+            ) > 0
+            cross_to_c2 = (
+                m1.sum(axis=0)[half:n_correct] + c1.sum(axis=0)[half:n_correct]
+            ) > 0
+            d1 = decided1 & ~cross_to_c1
+            d2 = decided2 & ~cross_to_c2
+            violation_detected_hits += int(d1.any() and d2.any())
+
+    estimates = {
+        "side_decides_fixed": ProportionEstimate(side_fixed_hits, trials),
+        "violation_quorums": ProportionEstimate(violation_hits, trials),
+    }
+    if model_detection:
+        estimates["violation_detected"] = ProportionEstimate(
+            violation_detected_hits, trials
+        )
+    return MonteCarloResult(trials=trials, estimates=estimates)
+
+
+def estimate_protocol_agreement(
+    config: ProtocolConfig,
+    trials: int = 20,
+    seed: int = 0,
+    max_time: float = 5000.0,
+) -> MonteCarloResult:
+    """Full-protocol agreement under the optimal equivocation attack.
+
+    Runs the real discrete-event simulation ``trials`` times with different
+    seeds and counts actual disagreement among correct replicas.  Slow;
+    intended for modest trial counts.
+    """
+    from ..harness.scenarios import equivocation_case
+
+    violation_hits = 0
+    undecided_runs = 0
+    for t in range(trials):
+        deployment, _plan = equivocation_case(config, seed=seed + t)
+        deployment.run(max_time=max_time)
+        if not deployment.agreement_ok:
+            violation_hits += 1
+        if not deployment.all_correct_decided():
+            undecided_runs += 1
+    return MonteCarloResult(
+        trials=trials,
+        estimates={
+            "violation_full_protocol": ProportionEstimate(violation_hits, trials),
+            "undecided_runs": ProportionEstimate(undecided_runs, trials),
+        },
+    )
+
+
+def estimate_viewchange_decide(
+    n: int,
+    f: int,
+    o: float,
+    l: float = 2.0,
+    prepared: Optional[int] = None,
+    trials: int = 2000,
+    seed: int = 0,
+) -> MonteCarloResult:
+    """Lemma 6 / Theorem 8's scenario: only ``prepared`` replicas committed.
+
+    A value was prepared by ``r = prepared`` replicas (default the theorem's
+    worst case ``(n+f)/2``); estimates the probability that a fixed replica
+    receives a commit quorum from them — the event whose probability Lemma 6
+    bounds and Theorem 8 multiplies into the cross-view safety argument.
+    """
+    q, s = _sizes(n, o, l)
+    r = prepared if prepared is not None else (n + f) // 2
+    rng = _rng(seed)
+    hits = 0
+    for _ in range(trials):
+        counts = inclusion_counts(n, r, s, rng)
+        hits += int(counts[0] >= q)
+    return MonteCarloResult(
+        trials=trials,
+        estimates={"decides_from_partial_prepare": ProportionEstimate(hits, trials)},
+    )

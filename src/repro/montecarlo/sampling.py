@@ -1,0 +1,54 @@
+"""Vectorized random-sample primitives.
+
+Model: each sender draws ``s`` distinct replica IDs uniformly from ``n``
+(exactly what the VRF does, paper §2.4) and "sends" to all of them; the
+quantity of interest is, per receiver, how many senders' samples include it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_members(
+    n: int, senders: int, s: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw one s-subset of ``range(n)`` per sender.
+
+    Returns an ``(senders, s)`` int array.  Implemented as a batched partial
+    argpartition of uniform noise — equivalent to ``senders`` independent
+    Fisher–Yates draws.
+    """
+    if not 0 < s <= n:
+        raise ValueError(f"need 0 < s <= n, got s={s}, n={n}")
+    if senders < 0:
+        raise ValueError(f"senders must be >= 0, got {senders}")
+    if senders == 0:
+        return np.empty((0, s), dtype=np.int64)
+    noise = rng.random((senders, n))
+    if s == n:
+        return np.tile(np.arange(n), (senders, 1))
+    return np.argpartition(noise, s, axis=1)[:, :s]
+
+
+def inclusion_counts(
+    n: int, senders: int, s: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-receiver count of senders whose sample includes the receiver.
+
+    Returns an ``(n,)`` int array summing to ``senders * s``.
+    """
+    members = sample_members(n, senders, s, rng)
+    return np.bincount(members.ravel(), minlength=n)
+
+
+def membership_matrix(
+    n: int, senders: int, s: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Boolean ``(senders, n)`` matrix: ``M[k, j]`` iff sender k sampled j."""
+    members = sample_members(n, senders, s, rng)
+    matrix = np.zeros((senders, n), dtype=bool)
+    if senders:
+        rows = np.repeat(np.arange(senders), members.shape[1])
+        matrix[rows, members.ravel()] = True
+    return matrix

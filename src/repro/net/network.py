@@ -1,0 +1,206 @@
+"""The partially synchronous network.
+
+Enforces the paper's model (§2.1): before GST, the scheduler (latency model +
+chaos policy) may delay messages arbitrarily; every message sent at time
+``t`` is delivered no later than ``max(t, GST) + Δ`` where ``Δ`` is the
+latency model's bound.  Correct-to-correct messages are never lost.
+
+The network also keeps :class:`MessageStats` — per-type send counters used to
+reproduce Figure 1b (number of exchanged messages).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from ..errors import NotRegisteredError
+from ..types import ReplicaId
+from .faults import ChaosPolicy, NoChaos
+from .latency import ConstantLatency, LatencyModel
+from .simulator import Simulator
+
+#: Handler invoked on delivery: ``handler(src, message)``.
+DeliveryHandler = Callable[[ReplicaId, object], None]
+
+
+def message_type_name(message: object) -> str:
+    """Stable type label for accounting (``TYPE`` attr or class name).
+
+    Signed envelopes are unwrapped so stats reflect protocol message types.
+    """
+    if hasattr(message, "payload") and hasattr(message, "signature"):
+        message = message.payload
+    label = getattr(message, "TYPE", None)
+    if isinstance(label, str):
+        return label
+    return type(message).__name__
+
+
+@dataclass
+class MessageStats:
+    """Message accounting for one network instance.
+
+    Byte counts use the canonical encoding of each message (the same bytes
+    signatures cover) and are tracked only when the network was created with
+    ``track_bytes=True`` — encoding every message has a measurable cost.
+    """
+
+    sent_by_type: Counter = field(default_factory=Counter)
+    sent_by_replica: Counter = field(default_factory=Counter)
+    delivered_by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+    sent_total: int = 0
+    delivered_total: int = 0
+    bytes_total: int = 0
+
+    def record_send(
+        self, src: ReplicaId, message: object, size: Optional[int] = None
+    ) -> None:
+        self.sent_by_type[message_type_name(message)] += 1
+        self.sent_by_replica[src] += 1
+        self.sent_total += 1
+        if size is not None:
+            self.bytes_by_type[message_type_name(message)] += size
+            self.bytes_total += size
+
+    def record_delivery(self, message: object) -> None:
+        self.delivered_by_type[message_type_name(message)] += 1
+        self.delivered_total += 1
+
+    def sent(self, type_name: str) -> int:
+        return self.sent_by_type.get(type_name, 0)
+
+    def summary(self) -> Dict[str, int]:
+        out = dict(sorted(self.sent_by_type.items()))
+        out["TOTAL"] = self.sent_total
+        return out
+
+
+class Network:
+    """Routes messages between replicas over the simulator.
+
+    Args:
+        sim: the discrete-event kernel.
+        n: number of replicas.
+        latency: base latency model (its ``max_delay`` is the post-GST Δ).
+        gst: global stabilization time (0 means synchronous from the start).
+        chaos: extra adversarial scheduling applied before GST.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n: int,
+        latency: Optional[LatencyModel] = None,
+        gst: float = 0.0,
+        chaos: Optional[ChaosPolicy] = None,
+        duplicate_prob: float = 0.0,
+        duplicate_seed: int = 0,
+        track_bytes: bool = False,
+    ) -> None:
+        if not 0.0 <= duplicate_prob < 1.0:
+            raise ValueError(f"duplicate_prob must be in [0,1), got {duplicate_prob}")
+        self._sim = sim
+        self._n = n
+        self._latency = latency if latency is not None else ConstantLatency(1.0)
+        self._gst = gst
+        self._chaos = chaos if chaos is not None else NoChaos()
+        self._duplicate_prob = duplicate_prob
+        self._dup_rng = (
+            random.Random(f"net-dup:{duplicate_seed}") if duplicate_prob else None
+        )
+        self._track_bytes = track_bytes
+        self._size_cache: Dict[int, int] = {}
+        self._handlers: Dict[ReplicaId, DeliveryHandler] = {}
+        self.stats = MessageStats()
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def gst(self) -> float:
+        return self._gst
+
+    @property
+    def max_delay(self) -> float:
+        return self._latency.max_delay
+
+    def register(self, replica: ReplicaId, handler: DeliveryHandler) -> None:
+        """Attach the delivery handler for ``replica``."""
+        if not 0 <= replica < self._n:
+            raise NotRegisteredError(f"replica {replica} out of range [0, {self._n})")
+        self._handlers[replica] = handler
+
+    def send(self, src: ReplicaId, dst: ReplicaId, message: object) -> float:
+        """Send one message; returns the scheduled delivery time."""
+        if dst not in self._handlers:
+            raise NotRegisteredError(f"no handler registered for replica {dst}")
+        now = self._sim.now
+        base = self._latency.delay(src, dst)
+        extra = self._chaos.extra_delay(now, self._gst, src, dst)
+        delivery = now + base + extra
+        # Partial synchrony: delivery no later than max(now, GST) + Δ.
+        deadline = max(now, self._gst) + self._latency.max_delay
+        delivery = min(delivery, deadline)
+        delivery = max(delivery, now + 1e-12)  # strictly in the future
+        self.stats.record_send(src, message, size=self._message_size(message))
+        handler = self._handlers[dst]
+
+        def deliver() -> None:
+            self.stats.record_delivery(message)
+            handler(src, message)
+
+        self._sim.schedule_at(delivery, deliver)
+        # Networks may duplicate messages (standard async-network behaviour);
+        # receivers must be idempotent (sender dedup in quorum collectors).
+        if self._dup_rng is not None and self._dup_rng.random() < self._duplicate_prob:
+            extra = min(
+                delivery + self._latency.delay(src, dst),
+                max(self._sim.now, self._gst) + 2 * self._latency.max_delay,
+            )
+            self._sim.schedule_at(max(extra, delivery), deliver)
+        return delivery
+
+    def _message_size(self, message: object) -> Optional[int]:
+        """Canonical-encoding size in bytes (None when tracking is off).
+
+        Sizes are cached by object identity: broadcasts/multicasts reuse one
+        message object, so each distinct message is encoded once.
+        """
+        if not self._track_bytes:
+            return None
+        key = id(message)
+        cached = self._size_cache.get(key)
+        if cached is None:
+            from ..crypto.hashing import stable_encode
+
+            try:
+                cached = len(stable_encode(message))
+            except TypeError:
+                cached = 0
+            self._size_cache[key] = cached
+        return cached
+
+    def multicast(
+        self, src: ReplicaId, targets: Iterable[ReplicaId], message: object
+    ) -> None:
+        """Send ``message`` to every replica in ``targets`` (self included if listed)."""
+        for dst in targets:
+            self.send(src, dst, message)
+
+    def broadcast(
+        self, src: ReplicaId, message: object, include_self: bool = False
+    ) -> None:
+        """Send ``message`` to all replicas (excluding ``src`` unless asked)."""
+        for dst in range(self._n):
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, message)

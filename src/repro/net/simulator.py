@@ -1,0 +1,147 @@
+"""Deterministic discrete-event simulation kernel.
+
+A tiny but complete DES: events are ``(time, sequence, callback)`` triples in
+a binary heap; ties in time break by scheduling order, so runs are fully
+deterministic.  All model randomness lives in *seeded* RNGs owned by the
+latency model / adversary, never in the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    time: float
+    seq: int
+    _entry: list = field(repr=False, compare=False)
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        self._entry[3] = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[3] is None
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[list] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._heap if entry[3] is not None)
+
+    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self._now})"
+            )
+        seq = next(self._seq)
+        entry = [time, seq, None, callback]
+        heapq.heappush(self._heap, entry)
+        handle = EventHandle(time=time, seq=seq, _entry=entry)
+        entry[2] = handle
+        return handle
+
+    def step(self) -> bool:
+        """Process the single next event; returns False if none remain."""
+        while self._heap:
+            time, _seq, _handle, callback = heapq.heappop(self._heap)
+            if callback is None:
+                continue  # cancelled
+            self._now = time
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run the event loop.
+
+        Args:
+            until: stop once virtual time would exceed this (the clock is
+                advanced to ``until``).
+            max_events: safety valve against runaway protocols.
+            stop_when: predicate checked after every event.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if stop_when is not None and stop_when():
+                    return
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    return
+                self.step()
+                processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap:
+            entry = self._heap[0]
+            if entry[3] is None:
+                heapq.heappop(self._heap)
+                continue
+            return entry[0]
+        return None

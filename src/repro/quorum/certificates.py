@@ -1,0 +1,98 @@
+"""Prepared certificates and the paper's ``prepared`` predicate.
+
+A *prepared certificate* for value ``x`` in view ``v`` held by replica ``j``
+is a set ``C`` of signed Prepare messages such that (paper §3.2)::
+
+    prepared(C, v, x, j)  <=>
+        ∃Q: |Q| = q  ∧  C = {⟨Prepare, ⟨v,x⟩_leader, S_k, P_k⟩_k : k ∈ Q}
+        ∧ leader-signed statement is by leader(v)
+        ∧ ∀ messages: j ∈ S_k ∧ VRF_verify(K_u,k, v‖"prepare", o·q, S_k, P_k)
+
+plus (implicitly) that every outer signature verifies and senders are
+distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import ProtocolConfig
+from ..crypto.signatures import SignatureScheme, Signed
+from ..crypto.vrf import VRF, phase_seed
+from ..messages.base import ProposalStatement
+from ..messages.probft import Prepare
+from ..types import ReplicaId, Value, View
+
+
+@dataclass(frozen=True)
+class PreparedCertificate:
+    """An immutable bundle of signed Prepare messages proving preparation."""
+
+    view: View
+    value: Value
+    messages: Tuple[Signed, ...]  # Signed[Prepare]
+
+    def canonical(self):
+        return ("prepared-cert", self.view, self.value, self.messages)
+
+    def senders(self) -> Tuple[ReplicaId, ...]:
+        return tuple(m.signer for m in self.messages)
+
+
+def validate_prepared_certificate(
+    cert: Tuple[Signed, ...],
+    view: View,
+    value: Optional[Value],
+    holder: ReplicaId,
+    config: ProtocolConfig,
+    signatures: SignatureScheme,
+    vrf: VRF,
+    leader_of_view,
+) -> bool:
+    """Implements ``prepared(C, v, x, j)`` over raw signed messages.
+
+    Args:
+        cert: the candidate certificate (tuple of ``Signed[Prepare]``).
+        view: the view ``v`` the certificate claims.
+        value: the value ``x`` (``None`` accepts any single consistent value).
+        holder: the replica ``j`` that claims to hold the certificate.
+        config: protocol parameters (supplies ``q`` and sample size).
+        signatures / vrf: verification services.
+        leader_of_view: the ``leader(v)`` function.
+    """
+    if len(cert) < config.q:
+        return False
+    expected_leader = leader_of_view(view, config.n)
+    seed = phase_seed(view, "prepare", config.seed_domain)
+    seen_senders = set()
+    statement_value: Optional[Value] = value
+    for signed in cert:
+        if not signatures.verify(signed):
+            return False
+        prepare = signed.payload
+        if not isinstance(prepare, Prepare):
+            return False
+        statement = prepare.statement
+        if not signatures.verify(statement):
+            return False
+        inner = statement.payload
+        if not isinstance(inner, ProposalStatement):
+            return False
+        if statement.signer != expected_leader:
+            return False
+        if inner.view != view or inner.domain != config.seed_domain:
+            return False
+        if statement_value is None:
+            statement_value = inner.value
+        elif inner.value != statement_value:
+            return False
+        if signed.signer in seen_senders:
+            return False
+        seen_senders.add(signed.signer)
+        sample = prepare.sample
+        if holder not in sample.sample:
+            return False
+        if not vrf.verify(signed.signer, seed, config.sample_size, sample):
+            return False
+    return len(seen_senders) >= config.q

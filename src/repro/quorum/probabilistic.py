@@ -1,0 +1,105 @@
+"""Matching-message quorum collectors.
+
+A collector accumulates messages grouped by an application key (for ProBFT:
+``(view, value)``), deduplicates by sender, and reports exactly once when a
+key first reaches the threshold.  The collector is deliberately unaware of
+signatures/VRFs — callers validate messages *before* adding them, keeping the
+trust boundary in one place (the replica handlers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
+
+from ..errors import QuorumError
+from ..types import ReplicaId
+
+K = TypeVar("K", bound=Hashable)
+M = TypeVar("M")
+
+
+@dataclass
+class _Bucket(Generic[M]):
+    senders: Set[ReplicaId] = field(default_factory=set)
+    messages: List[Tuple[ReplicaId, M]] = field(default_factory=list)
+    fired: bool = False
+
+
+class QuorumCollector(Generic[K, M]):
+    """Generic threshold collector over (key, sender, message) triples.
+
+    Example:
+        >>> c = QuorumCollector(threshold=2)
+        >>> c.add("k", 1, "a")
+        False
+        >>> c.add("k", 1, "duplicate")   # same sender: ignored
+        False
+        >>> c.add("k", 2, "b")
+        True
+        >>> c.add("k", 3, "c")           # fires at most once per key
+        False
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise QuorumError(f"threshold must be >= 1, got {threshold}")
+        self._threshold = threshold
+        self._buckets: Dict[K, _Bucket[M]] = {}
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def add(self, key: K, sender: ReplicaId, message: M) -> bool:
+        """Record a message; True iff this addition completes the quorum."""
+        bucket = self._buckets.setdefault(key, _Bucket())
+        if sender in bucket.senders:
+            return False
+        bucket.senders.add(sender)
+        bucket.messages.append((sender, message))
+        if not bucket.fired and len(bucket.senders) >= self._threshold:
+            bucket.fired = True
+            return True
+        return False
+
+    def count(self, key: K) -> int:
+        bucket = self._buckets.get(key)
+        return len(bucket.senders) if bucket else 0
+
+    def has_quorum(self, key: K) -> bool:
+        bucket = self._buckets.get(key)
+        return bool(bucket and bucket.fired)
+
+    def senders(self, key: K) -> Set[ReplicaId]:
+        bucket = self._buckets.get(key)
+        return set(bucket.senders) if bucket else set()
+
+    def messages(self, key: K) -> Tuple[M, ...]:
+        """All collected messages for ``key`` in arrival order."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return ()
+        return tuple(m for _sender, m in bucket.messages)
+
+    def quorum_messages(self, key: K) -> Tuple[M, ...]:
+        """The first ``threshold`` messages for ``key`` (the certificate set)."""
+        bucket = self._buckets.get(key)
+        if bucket is None or not bucket.fired:
+            raise QuorumError(f"no quorum formed for key {key!r}")
+        return tuple(m for _sender, m in bucket.messages[: self._threshold])
+
+    def keys(self) -> Tuple[K, ...]:
+        return tuple(self._buckets.keys())
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+
+class ProbabilisticQuorumCollector(QuorumCollector[K, M]):
+    """A :class:`QuorumCollector` whose threshold is the probabilistic ``q``.
+
+    Semantically identical to the generic collector; the subclass exists so
+    protocol code reads like the paper ("receiving messages from a
+    probabilistic quorum").
+    """

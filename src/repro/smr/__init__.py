@@ -1,0 +1,32 @@
+"""State machine replication on top of ProBFT (the paper's future work, §7).
+
+The paper closes by proposing "a scalable state machine replication protocol"
+built from ProBFT.  This package is that construction in its simplest sound
+form: an ordered log of *slots*, each decided by an independent ProBFT
+instance whose messages and VRF seeds are domain-scoped to the slot
+(``seed_domain = "slot-k"``), so instances cannot replay one another's
+messages.
+
+* :mod:`repro.smr.app` — the application interface plus two reference state
+  machines (counter, key-value store).
+* :mod:`repro.smr.log` — the ordered decision log with in-order application.
+* :mod:`repro.smr.replica` — an SMR replica multiplexing per-slot ProBFT
+  replicas over one transport.
+* :mod:`repro.smr.service` — deployment wiring and a simple client API.
+"""
+
+from .app import StateMachine, CounterApp, KeyValueApp, NOOP
+from .log import DecisionLog
+from .replica import SMRReplica, SlotEnvelope
+from .service import SMRDeployment
+
+__all__ = [
+    "StateMachine",
+    "CounterApp",
+    "KeyValueApp",
+    "NOOP",
+    "DecisionLog",
+    "SMRReplica",
+    "SlotEnvelope",
+    "SMRDeployment",
+]

@@ -1,0 +1,86 @@
+"""Replicated application interface and reference state machines.
+
+Commands are opaque byte strings (they travel as consensus values); each app
+defines its own encoding.  Apps must be deterministic: identical command
+sequences must produce identical states on every replica — that, plus the
+agreement property of the per-slot consensus, is what makes replication work.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from ..types import Value
+
+#: The reserved no-op command proposed when a leader has nothing to order.
+NOOP: Value = b"\x00noop"
+
+
+class StateMachine(abc.ABC):
+    """A deterministic application replicated via the SMR layer."""
+
+    @abc.abstractmethod
+    def apply(self, command: Value) -> Value:
+        """Execute ``command``, mutate state, return an opaque result."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> object:
+        """A comparable representation of the full state (for tests)."""
+
+
+class CounterApp(StateMachine):
+    """A counter supporting ``b"INC"``, ``b"DEC"`` and ``b"ADD:<int>"``."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.applied: List[Value] = []
+
+    def apply(self, command: Value) -> Value:
+        self.applied.append(command)
+        if command == NOOP:
+            return b"ok"
+        if command == b"INC":
+            self.value += 1
+        elif command == b"DEC":
+            self.value -= 1
+        elif command.startswith(b"ADD:"):
+            try:
+                self.value += int(command[4:])
+            except ValueError:
+                return b"error:bad-operand"
+        else:
+            return b"error:unknown-command"
+        return str(self.value).encode()
+
+    def snapshot(self) -> object:
+        return self.value
+
+
+class KeyValueApp(StateMachine):
+    """A key-value store: ``b"SET <key> <value>"``, ``b"DEL <key>"``.
+
+    Keys and values must not contain spaces (the command encoding is
+    deliberately primitive; the SMR layer does not care).
+    """
+
+    def __init__(self) -> None:
+        self.store: Dict[bytes, bytes] = {}
+        self.applied: List[Value] = []
+
+    def apply(self, command: Value) -> Value:
+        self.applied.append(command)
+        if command == NOOP:
+            return b"ok"
+        parts = command.split(b" ")
+        if parts[0] == b"SET" and len(parts) == 3:
+            self.store[parts[1]] = parts[2]
+            return b"ok"
+        if parts[0] == b"DEL" and len(parts) == 2:
+            existed = parts[1] in self.store
+            self.store.pop(parts[1], None)
+            return b"ok" if existed else b"missing"
+        return b"error:unknown-command"
+
+    def snapshot(self) -> object:
+        return tuple(sorted(self.store.items()))

@@ -1,0 +1,93 @@
+"""SMR client: submits commands and tracks end-to-end ordering latency.
+
+Models the standard BFT client: broadcast each request to all replicas and
+consider it complete once ``f + 1`` replicas report having *applied* it (at
+least one of those reports is from a correct replica, so the result is
+authoritative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..types import ReplicaId, Value
+from .service import SMRDeployment
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one client request."""
+
+    command: Value
+    submitted_at: float
+    acked_by: Set[ReplicaId] = field(default_factory=set)
+    completed_at: Optional[float] = None
+    slot: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class SMRClient:
+    """A client of an :class:`SMRDeployment`.
+
+    Wire the client *before* running the deployment; it hooks the
+    deployment's apply notifications to detect request completion.
+    """
+
+    def __init__(self, deployment: SMRDeployment) -> None:
+        self._deployment = deployment
+        self._requests: Dict[Value, RequestRecord] = {}
+        self._ack_threshold = deployment.config.f + 1
+        # Chain onto the deployment's apply recorder.
+        self._previous_recorder = deployment._record_apply
+        deployment._record_apply = self._on_apply  # type: ignore[method-assign]
+        for replica in deployment.replicas.values():
+            replica._on_apply = deployment._record_apply
+
+    # ------------------------------------------------------------------
+    def submit(self, command: Value) -> RequestRecord:
+        """Broadcast ``command`` to every replica."""
+        if command in self._requests:
+            raise ValueError(f"duplicate command {command!r}")
+        record = RequestRecord(
+            command=command, submitted_at=self._deployment.sim.now
+        )
+        self._requests[command] = record
+        self._deployment.submit_to_all(command)
+        return record
+
+    def _on_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
+        self._previous_recorder(replica, slot, value)
+        record = self._requests.get(value)
+        if record is None or record.completed:
+            return
+        record.acked_by.add(replica)
+        record.slot = slot
+        if len(record.acked_by) >= self._ack_threshold:
+            record.completed_at = self._deployment.sim.now
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> List[RequestRecord]:
+        return list(self._requests.values())
+
+    def completed_requests(self) -> List[RequestRecord]:
+        return [r for r in self._requests.values() if r.completed]
+
+    def all_completed(self) -> bool:
+        return all(r.completed for r in self._requests.values())
+
+    def mean_latency(self) -> float:
+        done = self.completed_requests()
+        if not done:
+            return float("nan")
+        return sum(r.latency for r in done) / len(done)

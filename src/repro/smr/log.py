@@ -1,0 +1,66 @@
+"""The ordered decision log.
+
+Slot decisions may arrive out of order (a replica can decide slot 3 before
+slot 2 if it lagged); the log buffers them and applies to the state machine
+strictly in slot order, which preserves determinism across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..types import Value
+from .app import StateMachine
+
+
+class DecisionLog:
+    """Slot-indexed log with in-order application to a state machine."""
+
+    def __init__(self, app: StateMachine) -> None:
+        self._app = app
+        self._decided: Dict[int, Value] = {}
+        self._results: Dict[int, Value] = {}
+        self._applied_up_to = 0  # highest contiguously applied slot
+
+    @property
+    def applied_up_to(self) -> int:
+        return self._applied_up_to
+
+    @property
+    def app(self) -> StateMachine:
+        return self._app
+
+    def decided_slots(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._decided))
+
+    def value_of(self, slot: int) -> Optional[Value]:
+        return self._decided.get(slot)
+
+    def result_of(self, slot: int) -> Optional[Value]:
+        """Application result for ``slot`` (None until applied)."""
+        return self._results.get(slot)
+
+    def record(self, slot: int, value: Value) -> List[int]:
+        """Record a slot decision; apply everything now contiguous.
+
+        Returns the list of slots applied by this call (possibly empty).
+        Re-recording a slot with the same value is a no-op; with a different
+        value it raises — that would be an agreement violation upstream.
+        """
+        if slot < 1:
+            raise ValueError(f"slots are numbered from 1, got {slot}")
+        if slot in self._decided:
+            if self._decided[slot] != value:
+                raise RuntimeError(
+                    f"conflicting decision for slot {slot}: "
+                    f"{self._decided[slot]!r} vs {value!r}"
+                )
+            return []
+        self._decided[slot] = value
+        applied = []
+        while self._applied_up_to + 1 in self._decided:
+            nxt = self._applied_up_to + 1
+            self._results[nxt] = self._app.apply(self._decided[nxt])
+            self._applied_up_to = nxt
+            applied.append(nxt)
+        return applied

@@ -1,0 +1,213 @@
+"""The SMR replica: per-slot ProBFT instances multiplexed over one transport.
+
+Every outbound message of slot ``k``'s ProBFT replica is wrapped in a
+:class:`SlotEnvelope`; inbound envelopes are routed to the right slot
+instance (creating it on demand, within a bounded look-ahead window).  Each
+slot instance runs with ``seed_domain = "slot-k"`` so its signed statements,
+VRF samples, and synchronizer wishes are useless in any other slot.
+
+Proposal values come from a local pending-command queue; a leader with an
+empty queue proposes :data:`~repro.smr.app.NOOP`.  Decided commands are
+applied strictly in slot order through :class:`~repro.smr.log.DecisionLog`.
+
+With ``pipeline > 1`` a replica keeps that many slots in flight at once —
+the latency of consecutive slots overlaps, trading memory and message burst
+for throughput (each slot remains an independent consensus instance, so
+safety is untouched).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..config import ProtocolConfig
+from ..core.replica import ProBFTReplica
+from ..crypto.context import CryptoContext
+from ..messages.base import CanonicalMessage
+from ..net.transport import Transport
+from ..sync.timeouts import TimeoutPolicy
+from ..types import Decision, ReplicaId, Value
+from .app import NOOP, StateMachine
+from .log import DecisionLog
+
+#: How many slots ahead of the last locally decided slot we are willing to
+#: instantiate (guards memory against Byzantine far-future envelopes).
+SLOT_WINDOW = 4
+
+
+@dataclass(frozen=True)
+class SlotEnvelope(CanonicalMessage):
+    """Wraps one slot's protocol message for transport-level multiplexing."""
+
+    TYPE = "SlotEnvelope"
+
+    slot: int
+    inner: object
+
+
+class _SlotTransport:
+    """Transport view that wraps every outbound message in a SlotEnvelope."""
+
+    def __init__(self, base: Transport, slot: int) -> None:
+        self._base = base
+        self._slot = slot
+
+    @property
+    def replica(self) -> ReplicaId:
+        return self._base.replica
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def now(self) -> float:
+        return self._base.now
+
+    def send(self, dst: ReplicaId, message: object) -> None:
+        self._base.send(dst, SlotEnvelope(slot=self._slot, inner=message))
+
+    def multicast(self, targets, message: object) -> None:
+        self._base.multicast(targets, SlotEnvelope(slot=self._slot, inner=message))
+
+    def broadcast(self, message: object, include_self: bool = False) -> None:
+        self._base.broadcast(
+            SlotEnvelope(slot=self._slot, inner=message), include_self=include_self
+        )
+
+    def schedule(self, delay: float, callback) -> object:
+        return self._base.schedule(delay, callback)
+
+
+class SMRReplica:
+    """A replica of the replicated state machine."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        config: ProtocolConfig,
+        crypto: CryptoContext,
+        transport: Transport,
+        app: StateMachine,
+        num_slots: int,
+        timeout_policy: Optional[TimeoutPolicy] = None,
+        on_apply: Optional[Callable[[ReplicaId, int, Value], None]] = None,
+        pipeline: int = 1,
+    ) -> None:
+        if config.seed_domain:
+            raise ValueError(
+                "SMR manages seed domains itself; pass a config with "
+                "seed_domain=''"
+            )
+        self.id = replica_id
+        self.config = config
+        self._crypto = crypto
+        self._transport = transport
+        self._timeout_policy = timeout_policy
+        self._on_apply = on_apply
+        if pipeline < 1:
+            raise ValueError(f"pipeline must be >= 1, got {pipeline}")
+        self.num_slots = num_slots
+        self.pipeline = pipeline
+        self.log = DecisionLog(app)
+        self._pending: Deque[Value] = deque()
+        self._slots: Dict[int, ProBFTReplica] = {}
+        self._slot_values: Dict[int, Value] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Client-facing API
+    # ------------------------------------------------------------------
+    def submit(self, command: Value) -> None:
+        """Queue a command for ordering (call on any/every replica)."""
+        self._pending.append(command)
+
+    @property
+    def pending_commands(self) -> int:
+        return len(self._pending)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for slot in range(1, min(self.pipeline, self.num_slots) + 1):
+            self._ensure_slot(slot)
+
+    def stop(self) -> None:
+        for replica in self._slots.values():
+            replica.stop()
+
+    def on_message(self, src: ReplicaId, message: object) -> None:
+        if not isinstance(message, SlotEnvelope):
+            return
+        slot = message.slot
+        if not isinstance(slot, int) or not 1 <= slot <= self.num_slots:
+            return
+        window = max(SLOT_WINDOW, self.pipeline + 1)
+        if slot > self.log.applied_up_to + window:
+            return  # too far ahead; the slot will be re-driven by view changes
+        replica = self._ensure_slot(slot)
+        if replica is not None:
+            replica.on_message(src, message.inner)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_slot(self, slot: int) -> Optional[ProBFTReplica]:
+        if slot in self._slots:
+            return self._slots[slot]
+        if slot > self.num_slots:
+            return None
+        my_value = self._next_proposal(slot)
+        slot_config = self.config.with_params(seed_domain=f"slot-{slot}")
+        replica = ProBFTReplica(
+            replica_id=self.id,
+            config=slot_config,
+            crypto=self._crypto,
+            transport=_SlotTransport(self._transport, slot),
+            my_value=my_value,
+            timeout_policy=self._timeout_policy,
+            on_decide=lambda decision, s=slot: self._on_slot_decided(s, decision),
+        )
+        self._slots[slot] = replica
+        self._slot_values[slot] = my_value
+        replica.start()
+        return replica
+
+    def _next_proposal(self, slot: int) -> Value:
+        """Pick this replica's proposal for ``slot``.
+
+        Skips commands already ordered in earlier slots; proposes NOOP when
+        the queue is empty.
+        """
+        ordered = {self.log.value_of(s) for s in self.log.decided_slots()}
+        while self._pending and self._pending[0] in ordered:
+            self._pending.popleft()
+        if self._pending:
+            return self._pending.popleft()
+        return NOOP
+
+    def _on_slot_decided(self, slot: int, decision: Decision) -> None:
+        applied = self.log.record(slot, decision.value)
+        for s in applied:
+            if self._on_apply is not None:
+                self._on_apply(self.id, s, self.log.value_of(s))
+        # Requeue our proposal if a different value won the slot.
+        mine = self._slot_values.get(slot)
+        if mine is not None and mine != NOOP and mine != decision.value:
+            self._pending.appendleft(mine)
+        # Open the pipeline window past the highest decided slot.
+        top = min(self.num_slots, slot + self.pipeline)
+        for nxt in range(slot + 1, top + 1):
+            self._ensure_slot(nxt)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def decided_all(self) -> bool:
+        return self.log.applied_up_to >= self.num_slots
+
+    def slot_replica(self, slot: int) -> Optional[ProBFTReplica]:
+        return self._slots.get(slot)

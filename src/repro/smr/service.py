@@ -1,0 +1,130 @@
+"""SMR deployment wiring and client helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..config import ProtocolConfig
+from ..crypto.context import CryptoContext
+from ..crypto.hashing import digest
+from ..net.latency import ConstantLatency, LatencyModel
+from ..net.network import Network
+from ..net.simulator import Simulator
+from ..net.transport import Transport
+from ..sync.timeouts import FixedTimeout, TimeoutPolicy
+from ..types import ReplicaId, Value
+from .app import StateMachine
+from .replica import SMRReplica
+
+AppFactory = Callable[[], StateMachine]
+
+
+class SMRDeployment:
+    """A replicated state machine over ``n`` SMR replicas.
+
+    The workload is a list of client commands; each command is submitted to
+    every replica (simulating a client that broadcasts its request, the
+    standard BFT client behaviour), then the deployment runs until every
+    correct replica has applied ``num_slots`` slots.
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        app_factory: AppFactory,
+        num_slots: int,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        timeout_policy: Optional[TimeoutPolicy] = None,
+        byzantine_ids: Sequence[ReplicaId] = (),
+        pipeline: int = 1,
+    ) -> None:
+        self.config = config
+        self.num_slots = num_slots
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            config.n,
+            latency=latency if latency is not None else ConstantLatency(1.0),
+        )
+        self.crypto = CryptoContext.create(
+            config.n, master_seed=digest("smr-deployment", seed)
+        )
+        self.applied: Dict[ReplicaId, List[Tuple[int, Value]]] = {}
+        if len(byzantine_ids) > config.f:
+            raise ValueError("too many Byzantine replicas")
+        self.byzantine_ids: FrozenSet[ReplicaId] = frozenset(byzantine_ids)
+
+        self.replicas: Dict[ReplicaId, SMRReplica] = {}
+        for r in range(config.n):
+            if r in self.byzantine_ids:
+                continue  # Byzantine SMR members are simply absent (silent)
+            transport = Transport(self.network, r)
+            replica = SMRReplica(
+                replica_id=r,
+                config=config,
+                crypto=self.crypto,
+                transport=transport,
+                app=app_factory(),
+                num_slots=num_slots,
+                timeout_policy=timeout_policy or FixedTimeout(30.0),
+                on_apply=self._record_apply,
+                pipeline=pipeline,
+            )
+            self.network.register(r, replica.on_message)
+            self.replicas[r] = replica
+        for r in self.byzantine_ids:
+            self.network.register(r, lambda _src, _msg: None)
+        self._started = False
+
+    def _record_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
+        self.applied.setdefault(replica, []).append((slot, value))
+
+    # ------------------------------------------------------------------
+    def submit_to_all(self, command: Value) -> None:
+        """A client broadcasts one command to every replica."""
+        for replica in self.replicas.values():
+            replica.submit(command)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for replica in self.replicas.values():
+            replica.start()
+
+    def run(
+        self, max_time: Optional[float] = None, max_events: int = 20_000_000
+    ) -> "SMRDeployment":
+        self.start()
+        self.sim.run(
+            until=max_time,
+            max_events=max_events,
+            stop_when=self.all_applied,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def correct_ids(self) -> FrozenSet[ReplicaId]:
+        return frozenset(self.replicas)
+
+    def all_applied(self) -> bool:
+        return all(r.decided_all() for r in self.replicas.values())
+
+    def logs_consistent(self) -> bool:
+        """All correct replicas applied identical command sequences."""
+        sequences = {
+            tuple(
+                replica.log.value_of(s)
+                for s in range(1, replica.log.applied_up_to + 1)
+            )
+            for replica in self.replicas.values()
+        }
+        return len(sequences) <= 1
+
+    def snapshots(self) -> Dict[ReplicaId, object]:
+        return {r: rep.log.app.snapshot() for r, rep in self.replicas.items()}
+
+    def snapshots_consistent(self) -> bool:
+        return len(set(map(repr, self.snapshots().values()))) <= 1

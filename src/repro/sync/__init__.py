@@ -1,0 +1,23 @@
+"""View synchronization (the synchronizer abstraction of Bravo et al. [6]).
+
+ProBFT (like single-shot PBFT in [6]) outsources view management to a
+synchronizer that emits ``newView(v)`` notifications; after GST all correct
+replicas eventually overlap in the same view long enough to decide.
+
+* :mod:`repro.sync.timeouts` — timeout policies (fixed / linear / exponential).
+* :mod:`repro.sync.synchronizer` — a wish-based synchronizer: replicas
+  broadcast ``Wish(v)`` on timeout, relay on ``f+1`` wishes, and enter a view
+  on ``2f+1`` wishes (Bracha-style amplification).
+"""
+
+from .timeouts import TimeoutPolicy, FixedTimeout, LinearTimeout, ExponentialTimeout
+from .synchronizer import ViewSynchronizer, Wish
+
+__all__ = [
+    "TimeoutPolicy",
+    "FixedTimeout",
+    "LinearTimeout",
+    "ExponentialTimeout",
+    "ViewSynchronizer",
+    "Wish",
+]

@@ -1,0 +1,63 @@
+"""Timeout policies for the view synchronizer.
+
+The communication bound Δ is *unknown* to the protocol, so view timeouts must
+grow: after GST there is eventually a view whose timeout exceeds the time
+consensus needs, and every later correct-leader view decides.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..types import View
+
+
+class TimeoutPolicy(abc.ABC):
+    """Maps a view number to that view's duration budget."""
+
+    @abc.abstractmethod
+    def timeout_for(self, view: View) -> float:
+        """Time a replica waits in ``view`` before wishing for ``view + 1``."""
+
+
+class FixedTimeout(TimeoutPolicy):
+    """Constant timeout — only correct when Δ is effectively known (tests)."""
+
+    def __init__(self, value: float = 10.0) -> None:
+        if value <= 0:
+            raise ValueError(f"timeout must be positive, got {value}")
+        self._value = value
+
+    def timeout_for(self, view: View) -> float:
+        return self._value
+
+
+class LinearTimeout(TimeoutPolicy):
+    """``base + (view - 1) * increment`` — grows without bound, gently."""
+
+    def __init__(self, base: float = 10.0, increment: float = 5.0) -> None:
+        if base <= 0 or increment < 0:
+            raise ValueError(f"invalid base={base} increment={increment}")
+        self._base = base
+        self._increment = increment
+
+    def timeout_for(self, view: View) -> float:
+        return self._base + (view - 1) * self._increment
+
+
+class ExponentialTimeout(TimeoutPolicy):
+    """``base * factor^(view - 1)``, capped — the standard practical choice."""
+
+    def __init__(
+        self, base: float = 10.0, factor: float = 2.0, cap: float = 1e6
+    ) -> None:
+        if base <= 0 or factor < 1 or cap < base:
+            raise ValueError(
+                f"invalid base={base} factor={factor} cap={cap}"
+            )
+        self._base = base
+        self._factor = factor
+        self._cap = cap
+
+    def timeout_for(self, view: View) -> float:
+        return min(self._base * self._factor ** (view - 1), self._cap)

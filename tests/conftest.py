@@ -1,0 +1,32 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.crypto.context import CryptoContext
+
+from .helpers import make_crypto, saturated_config
+
+
+@pytest.fixture
+def small_config() -> ProtocolConfig:
+    """n=20, f=3 — fast full-protocol runs with real (non-saturated) samples."""
+    return ProtocolConfig(n=20, f=3)
+
+
+@pytest.fixture
+def sat_config() -> ProtocolConfig:
+    """n=8, f=1 — saturated samples for deterministic certificate tests."""
+    return saturated_config()
+
+
+@pytest.fixture
+def sat_crypto(sat_config) -> CryptoContext:
+    return make_crypto(sat_config)
+
+
+@pytest.fixture
+def crypto20(small_config) -> CryptoContext:
+    return make_crypto(small_config)

@@ -1,0 +1,114 @@
+"""Tests for the probability bounds (paper Appendix A)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    binom_pmf,
+    binom_tail_ge,
+    binom_tail_le,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    geometric_success_within,
+    hypergeometric_tail,
+)
+from repro.errors import AnalysisDomainError
+
+
+class TestChernoff:
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(100.0, 0.5) == pytest.approx(
+            math.exp(-0.25 * 100 / 2)
+        )
+
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(100.0, 0.5) == pytest.approx(
+            math.exp(-0.25 * 100 / 2.5)
+        )
+
+    def test_lower_tail_domain(self):
+        with pytest.raises(AnalysisDomainError):
+            chernoff_lower_tail(10.0, 0.0)
+        with pytest.raises(AnalysisDomainError):
+            chernoff_lower_tail(10.0, 1.0)
+        assert math.isnan(chernoff_lower_tail(10.0, 1.5, strict=False))
+
+    def test_upper_tail_domain(self):
+        with pytest.raises(AnalysisDomainError):
+            chernoff_upper_tail(10.0, -0.1)
+
+    def test_bounds_actually_bound_binomial_tails(self):
+        """Chernoff must dominate the exact binomial tail."""
+        r, p = 200, 0.3
+        mean = r * p
+        for delta in (0.1, 0.3, 0.5, 0.8):
+            exact_low = binom_tail_le(r, p, int((1 - delta) * mean))
+            assert exact_low <= chernoff_lower_tail(mean, delta) + 1e-12
+            exact_high = binom_tail_ge(r, p, int(math.ceil((1 + delta) * mean)))
+            assert exact_high <= chernoff_upper_tail(mean, delta) + 1e-12
+
+    def test_tighter_for_larger_delta(self):
+        b1 = chernoff_lower_tail(50.0, 0.2)
+        b2 = chernoff_lower_tail(50.0, 0.6)
+        assert b2 < b1
+
+
+class TestHypergeometric:
+    def test_formula(self):
+        assert hypergeometric_tail(100, 30, 20, 0.1) == pytest.approx(
+            math.exp(-2 * 20 * 0.01)
+        )
+
+    def test_domain(self):
+        with pytest.raises(AnalysisDomainError):
+            hypergeometric_tail(100, 30, 20, 0.5)  # t >= M/N
+        with pytest.raises(AnalysisDomainError):
+            hypergeometric_tail(100, 30, 20, 0.0)
+        assert math.isnan(hypergeometric_tail(100, 30, 20, 0.5, strict=False))
+
+    def test_invalid_population(self):
+        with pytest.raises(AnalysisDomainError):
+            hypergeometric_tail(0, 0, 0, 0.1)
+
+
+class TestBinomialTails:
+    def test_ge_le_complement(self):
+        r, p = 50, 0.4
+        for k in (0, 10, 25, 50):
+            total = binom_tail_le(r, p, k - 1) + binom_tail_ge(r, p, k)
+            assert total == pytest.approx(1.0)
+
+    def test_edge_cases(self):
+        assert binom_tail_ge(10, 0.5, 0) == 1.0
+        assert binom_tail_ge(10, 0.5, 11) == 0.0
+        assert binom_tail_le(10, 0.5, 10) == 1.0
+        assert binom_tail_le(10, 0.5, -1) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        total = sum(binom_pmf(20, 0.3, k) for k in range(21))
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(AnalysisDomainError):
+            binom_tail_ge(-1, 0.5, 0)
+        with pytest.raises(AnalysisDomainError):
+            binom_tail_ge(10, 1.5, 0)
+
+
+class TestGeometric:
+    def test_formula(self):
+        assert geometric_success_within(0.5, 2) == pytest.approx(0.75)
+
+    def test_limits(self):
+        assert geometric_success_within(0.3, 0) == 0.0
+        assert geometric_success_within(1.0, 1) == 1.0
+        assert geometric_success_within(0.9, 100) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self):
+        values = [geometric_success_within(0.2, k) for k in range(10)]
+        assert values == sorted(values)
+
+    def test_domain(self):
+        with pytest.raises(AnalysisDomainError):
+            geometric_success_within(1.5, 2)

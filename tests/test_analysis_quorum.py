@@ -1,0 +1,126 @@
+"""Tests for quorum-formation probabilities (Appendix B)."""
+
+import math
+
+import pytest
+
+from repro.analysis.quorum_probability import (
+    corollary2_constant,
+    expected_senders_reaching,
+    prob_quorum_corollary2,
+    prob_quorum_exact,
+    prob_quorum_exact_config,
+    prob_quorum_theorem2,
+    prob_quorum_theorem11,
+    theorem2_o_interval,
+    theorem2_premise_holds,
+    theorem6_monotone_in_r,
+)
+from repro.errors import AnalysisDomainError
+
+
+class TestLemma1:
+    def test_expected_value(self):
+        # Lemma 1: E = r*s/n.
+        assert expected_senders_reaching(80, 34, 100) == pytest.approx(27.2)
+
+    def test_invalid_params(self):
+        with pytest.raises(AnalysisDomainError):
+            expected_senders_reaching(10, 20, 15)  # s > n
+
+
+class TestTheorem11:
+    def test_bound_is_a_lower_bound_on_exact(self):
+        n, r, s, q = 100, 80, 34, 20
+        bound = prob_quorum_theorem11(n, r, s, q)
+        exact = prob_quorum_exact(n, r, s, q)
+        assert bound <= exact + 1e-12
+
+    def test_domain_requires_n_less_than_or(self):
+        # o = s/q = 1.0, r = 50 -> o*r = 50 < n.
+        with pytest.raises(AnalysisDomainError):
+            prob_quorum_theorem11(100, 50, 20, 20)
+        assert math.isnan(
+            prob_quorum_theorem11(100, 50, 20, 20, strict=False)
+        )
+
+    def test_increases_with_r(self):
+        values = [
+            prob_quorum_theorem11(100, r, 34, 20) for r in (70, 80, 90, 100)
+        ]
+        assert values == sorted(values)
+
+
+class TestCorollary2:
+    def test_paper_constant(self):
+        assert corollary2_constant(100, 20, 1.7) == pytest.approx(1.36)
+
+    def test_formula(self):
+        n, f, o, q = 100, 20, 1.7, 20
+        c = 1.7 * 80 / 100
+        expected = 1 - math.exp(-q * (c - 1) ** 2 / (2 * c))
+        assert prob_quorum_corollary2(n, f, o, q) == pytest.approx(expected)
+
+    def test_domain(self):
+        # o*(n-f) <= n -> invalid.
+        with pytest.raises(AnalysisDomainError):
+            prob_quorum_corollary2(100, 50, 1.7, 20)
+
+    def test_bound_below_exact(self):
+        n, f, o, q = 100, 20, 1.7, 20
+        s = math.ceil(o * q)
+        bound = prob_quorum_corollary2(n, f, o, q)
+        exact = prob_quorum_exact(n, n - f, s, q)
+        assert bound <= exact + 1e-12
+
+
+class TestTheorem2:
+    def test_o_interval(self):
+        lo, hi = theorem2_o_interval(100, 20)
+        assert lo >= 1.0
+        assert hi == pytest.approx((2 + math.sqrt(3)) * 100 / 80)
+
+    def test_paper_o_values_admissible(self):
+        lo, hi = theorem2_o_interval(100, 20)
+        for o in (1.6, 1.7, 1.8):
+            assert lo <= o <= hi
+
+    def test_bound_outside_domain(self):
+        with pytest.raises(AnalysisDomainError):
+            prob_quorum_theorem2(100, 20, 2.0, 10.0)
+
+    def test_premise_check(self):
+        # With o=1.7, n=100, f=20: c=1.36, 2c/(c-1)^2 = 2.72/0.1296 = ~21 > l=2,
+        # so the exp(-sqrt(n)) floor is NOT guaranteed at these parameters.
+        assert not theorem2_premise_holds(100, 20, 2.0, 1.7)
+        # With much bigger o the premise can hold: c = o(n-f)/n must satisfy
+        # 2c/(c-1)^2 <= l, i.e. c >= (3+sqrt(5))/2 ~ 2.618 -> o >= ~3.27.
+        assert theorem2_premise_holds(100, 20, 2.0, 3.5)
+
+    def test_probability_increases_with_o(self):
+        values = [
+            prob_quorum_theorem2(100, 20, 2.0, o) for o in (1.5, 1.7, 2.0, 2.5)
+        ]
+        assert values == sorted(values)
+
+
+class TestExact:
+    def test_exact_matches_direct_formula(self):
+        from scipy import stats
+
+        n, r, s, q = 100, 80, 34, 20
+        assert prob_quorum_exact(n, r, s, q) == pytest.approx(
+            float(stats.binom.sf(q - 1, r, s / n))
+        )
+
+    def test_exact_config_uses_integer_sizes(self):
+        # n=100, f=20, o=1.7, l=2 -> q=20, s=34.
+        assert prob_quorum_exact_config(100, 20, 1.7, 2.0) == pytest.approx(
+            prob_quorum_exact(100, 80, 34, 20)
+        )
+
+    def test_theorem6_monotonicity(self):
+        """Theorem 6: quorum probability directly proportional to r."""
+        probs = theorem6_monotone_in_r(100, 34, 20, range(40, 101, 10))
+        assert probs == sorted(probs)
+        assert probs[-1] > probs[0]

@@ -1,0 +1,123 @@
+"""Tests for the single-shot HotStuff baseline."""
+
+import pytest
+
+from repro.adversary.behaviors import silent_factory
+from repro.baselines.hotstuff.protocol import HotStuffDeployment
+from repro.config import ProtocolConfig
+from repro.net.latency import ConstantLatency
+from repro.sync.timeouts import FixedTimeout
+
+
+class TestHotStuffHappyPath:
+    @pytest.mark.parametrize("n,f", [(4, 1), (10, 3), (31, 10)])
+    def test_all_decide_same_value(self, n, f):
+        dep = HotStuffDeployment(ProtocolConfig(n=n, f=f))
+        dep.run(max_time=500)
+        assert dep.all_correct_decided()
+        assert dep.agreement_ok
+        assert dep.decided_values() == {b"value-0"}
+
+    def test_eight_steps(self):
+        """Basic HotStuff pays extra latency for linearity (Figure 1a)."""
+        dep = HotStuffDeployment(
+            ProtocolConfig(n=10, f=3), latency=ConstantLatency(1.0)
+        )
+        dep.run(max_time=500)
+        assert max(d.time for d in dep.decisions.values()) == pytest.approx(8.0)
+
+    def test_linear_message_count(self):
+        n = 20
+        dep = HotStuffDeployment(ProtocolConfig(n=n, f=3))
+        dep.run(max_time=500)
+        stats = dep.network.stats
+        assert stats.sent("HsNewView") == n - 1
+        assert stats.sent("HsProposal") == 4 * (n - 1)
+        assert stats.sent("HsVote") == 3 * (n - 1)
+        assert stats.sent_total == 8 * (n - 1)
+
+    def test_scales_linearly(self):
+        t40 = HotStuffDeployment(ProtocolConfig(n=40, f=13)).run(max_time=500)
+        t80 = HotStuffDeployment(ProtocolConfig(n=80, f=26)).run(max_time=500)
+        ratio = t80.network.stats.sent_total / t40.network.stats.sent_total
+        assert 1.8 < ratio < 2.2
+
+
+class TestHotStuffViewChange:
+    def test_silent_leader_recovers(self):
+        dep = HotStuffDeployment(
+            ProtocolConfig(n=10, f=2),
+            timeout_policy=FixedTimeout(30.0),
+            byzantine={0: silent_factory()},
+        )
+        dep.run(max_time=2000)
+        assert dep.all_correct_decided()
+        assert dep.agreement_ok
+        assert all(d.view >= 2 for d in dep.decisions.values())
+
+    def test_agreement_across_seeds(self):
+        for seed in range(5):
+            dep = HotStuffDeployment(ProtocolConfig(n=7, f=2), seed=seed)
+            dep.run(max_time=1000)
+            assert dep.agreement_ok
+
+
+class TestQuorumCertificates:
+    def test_qc_verification_rejects_duplicates(self):
+        from repro.baselines.hotstuff.replica import HotStuffReplica
+        from repro.messages.hotstuff import HsQuorumCert, HsVotePayload
+
+        cfg = ProtocolConfig(n=4, f=1)
+        dep = HotStuffDeployment(cfg)
+        replica: HotStuffReplica = dep.replicas[0]
+        vote = dep.crypto.signatures.sign(
+            1, HsVotePayload(view=1, value=b"v", phase="prepare")
+        )
+        qc = HsQuorumCert(view=1, value=b"v", phase="prepare", votes=(vote,) * 3)
+        assert not replica._verify_qc(qc)
+
+    def test_qc_verification_accepts_quorum(self):
+        from repro.baselines.hotstuff.replica import HotStuffReplica
+        from repro.messages.hotstuff import HsQuorumCert, HsVotePayload
+
+        cfg = ProtocolConfig(n=4, f=1)
+        dep = HotStuffDeployment(cfg)
+        replica: HotStuffReplica = dep.replicas[0]
+        votes = tuple(
+            dep.crypto.signatures.sign(
+                s, HsVotePayload(view=1, value=b"v", phase="prepare")
+            )
+            for s in range(3)
+        )
+        qc = HsQuorumCert(view=1, value=b"v", phase="prepare", votes=votes)
+        assert replica._verify_qc(qc)
+
+    def test_qc_with_mismatched_votes_rejected(self):
+        from repro.baselines.hotstuff.replica import HotStuffReplica
+        from repro.messages.hotstuff import HsQuorumCert, HsVotePayload
+
+        cfg = ProtocolConfig(n=4, f=1)
+        dep = HotStuffDeployment(cfg)
+        replica: HotStuffReplica = dep.replicas[0]
+        votes = tuple(
+            dep.crypto.signatures.sign(
+                s, HsVotePayload(view=1, value=b"v", phase="prepare")
+            )
+            for s in range(2)
+        ) + (
+            dep.crypto.signatures.sign(
+                2, HsVotePayload(view=1, value=b"OTHER", phase="prepare")
+            ),
+        )
+        qc = HsQuorumCert(view=1, value=b"v", phase="prepare", votes=votes)
+        assert not replica._verify_qc(qc)
+
+
+class TestPhases:
+    def test_phase_ordering(self):
+        from repro.messages.hotstuff import HsPhase
+
+        assert HsPhase.PREPARE.next_phase() is HsPhase.PRE_COMMIT
+        assert HsPhase.PRE_COMMIT.next_phase() is HsPhase.COMMIT
+        assert HsPhase.COMMIT.next_phase() is HsPhase.DECIDE
+        assert HsPhase.DECIDE.next_phase() is None

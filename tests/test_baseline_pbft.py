@@ -1,0 +1,144 @@
+"""Tests for the single-shot PBFT baseline."""
+
+import pytest
+
+from repro.adversary.behaviors import silent_factory
+from repro.baselines.pbft.predicates import (
+    pbft_choose_value,
+    pbft_safe_proposal,
+    pbft_valid_new_leader,
+)
+from repro.baselines.pbft.protocol import PbftDeployment
+from repro.config import ProtocolConfig
+from repro.net.latency import ConstantLatency
+from repro.sync.timeouts import FixedTimeout
+
+
+class TestPbftHappyPath:
+    @pytest.mark.parametrize("n,f", [(4, 1), (10, 3), (31, 10)])
+    def test_all_decide_same_value(self, n, f):
+        dep = PbftDeployment(ProtocolConfig(n=n, f=f))
+        dep.run(max_time=500)
+        assert dep.all_correct_decided()
+        assert dep.agreement_ok
+        assert dep.decided_values() == {b"value-0"}
+
+    def test_three_steps(self):
+        dep = PbftDeployment(
+            ProtocolConfig(n=10, f=3), latency=ConstantLatency(1.0)
+        )
+        dep.run(max_time=500)
+        assert max(d.time for d in dep.decisions.values()) == pytest.approx(3.0)
+
+    def test_quadratic_message_count(self):
+        n = 20
+        dep = PbftDeployment(ProtocolConfig(n=n, f=3))
+        dep.run(max_time=500)
+        stats = dep.network.stats
+        assert stats.sent("PbftPropose") == n - 1
+        assert stats.sent("PbftPrepare") == n * (n - 1)
+        assert stats.sent("PbftCommit") == n * (n - 1)
+
+
+class TestPbftViewChange:
+    def test_silent_leader_recovers(self):
+        dep = PbftDeployment(
+            ProtocolConfig(n=10, f=2),
+            timeout_policy=FixedTimeout(20.0),
+            byzantine={0: silent_factory()},
+        )
+        dep.run(max_time=2000)
+        assert dep.all_correct_decided()
+        assert dep.agreement_ok
+        assert all(d.view >= 2 for d in dep.decisions.values())
+
+    def test_deterministic_agreement_guaranteed(self):
+        """PBFT (unlike ProBFT) has deterministic agreement: across many
+        seeds, never any disagreement and always the same decided value."""
+        for seed in range(5):
+            dep = PbftDeployment(ProtocolConfig(n=7, f=2), seed=seed)
+            dep.run(max_time=1000)
+            assert dep.agreement_ok
+
+
+class TestPbftPredicates:
+    @pytest.fixture
+    def setup(self):
+        cfg = ProtocolConfig(n=8, f=1)
+        dep = PbftDeployment(cfg)
+        return cfg, dep.crypto
+
+    def test_choose_value_prefers_highest_view(self, setup):
+        cfg, crypto = setup
+        from repro.messages.pbft import PbftNewLeader
+
+        msgs = [
+            crypto.signatures.sign(
+                0, PbftNewLeader(view=4, prepared_view=1,
+                                 prepared_value=b"old", cert=())
+            ),
+            crypto.signatures.sign(
+                1, PbftNewLeader(view=4, prepared_view=3,
+                                 prepared_value=b"new", cert=())
+            ),
+        ]
+        value, v_max = pbft_choose_value(tuple(msgs), b"mine")
+        assert value == b"new" and v_max == 3
+
+    def test_choose_value_defaults_to_own(self, setup):
+        cfg, crypto = setup
+        from repro.messages.pbft import PbftNewLeader
+
+        msgs = [
+            crypto.signatures.sign(
+                s, PbftNewLeader(view=2, prepared_view=0,
+                                 prepared_value=None, cert=())
+            )
+            for s in range(5)
+        ]
+        value, v_max = pbft_choose_value(tuple(msgs), b"mine")
+        assert value == b"mine" and v_max == 0
+
+    def test_valid_new_leader_never_prepared(self, setup):
+        cfg, crypto = setup
+        from repro.messages.pbft import PbftNewLeader
+
+        msg = crypto.signatures.sign(
+            2, PbftNewLeader(view=2, prepared_view=0, prepared_value=None, cert=())
+        )
+        assert pbft_valid_new_leader(msg, 2, cfg, crypto)
+
+    def test_valid_new_leader_rejects_missing_cert(self, setup):
+        cfg, crypto = setup
+        from repro.messages.pbft import PbftNewLeader
+
+        msg = crypto.signatures.sign(
+            2, PbftNewLeader(view=2, prepared_view=1, prepared_value=b"v", cert=())
+        )
+        assert not pbft_valid_new_leader(msg, 2, cfg, crypto)
+
+    def test_safe_proposal_view1(self, setup):
+        cfg, crypto = setup
+        from repro.messages.base import ProposalStatement
+        from repro.messages.pbft import PbftPropose
+
+        statement = crypto.signatures.sign(
+            0, ProposalStatement(view=1, value=b"v")
+        )
+        propose = crypto.signatures.sign(
+            0, PbftPropose(view=1, statement=statement, justification=None)
+        )
+        assert pbft_safe_proposal(propose, cfg, crypto)
+
+    def test_safe_proposal_wrong_leader(self, setup):
+        cfg, crypto = setup
+        from repro.messages.base import ProposalStatement
+        from repro.messages.pbft import PbftPropose
+
+        statement = crypto.signatures.sign(
+            3, ProposalStatement(view=1, value=b"v")
+        )
+        propose = crypto.signatures.sign(
+            3, PbftPropose(view=1, statement=statement, justification=None)
+        )
+        assert not pbft_safe_proposal(propose, cfg, crypto)

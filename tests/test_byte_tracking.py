@@ -1,0 +1,90 @@
+"""Tests for communication-byte accounting."""
+
+import pytest
+
+from repro.adversary.behaviors import silent_factory
+from repro.config import ProtocolConfig
+from repro.core.protocol import ProBFTDeployment
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.sync.timeouts import FixedTimeout
+
+
+class TestByteTracking:
+    def test_disabled_by_default(self):
+        dep = ProBFTDeployment(ProtocolConfig(n=10, f=2))
+        dep.run(max_time=500)
+        assert dep.network.stats.bytes_total == 0
+
+    def test_enabled_tracks_bytes(self):
+        dep = ProBFTDeployment(ProtocolConfig(n=10, f=2), track_bytes=True)
+        dep.run(max_time=500)
+        stats = dep.network.stats
+        assert stats.bytes_total > 0
+        assert set(stats.bytes_by_type) == set(stats.sent_by_type)
+
+    def test_sizes_are_canonical_encoding_lengths(self):
+        from repro.crypto.hashing import stable_encode
+
+        sim = Simulator()
+        net = Network(sim, 2, track_bytes=True)
+        net.register(1, lambda s, m: None)
+        message = ("hello", 42)
+        net.send(0, 1, message)
+        assert net.stats.bytes_total == len(stable_encode(message))
+
+    def test_size_cache_reused_for_broadcast(self):
+        sim = Simulator()
+        net = Network(sim, 5, track_bytes=True)
+        for r in range(5):
+            net.register(r, lambda s, m: None)
+        message = ("payload",)
+        net.broadcast(0, message)
+        from repro.crypto.hashing import stable_encode
+
+        assert net.stats.bytes_total == 4 * len(stable_encode(message))
+
+    def test_unencodable_message_counts_zero(self):
+        sim = Simulator()
+        net = Network(sim, 2, track_bytes=True)
+        net.register(1, lambda s, m: None)
+        net.send(0, 1, object())
+        assert net.stats.bytes_total == 0
+        assert net.stats.sent_total == 1
+
+    def test_view_change_proposals_are_heavier(self):
+        """§3.3: a view-2 Propose ships a deterministic quorum of NewLeader
+        messages; its size dominates a view-1 Propose."""
+        cfg = ProtocolConfig(n=20, f=4)
+        good = ProBFTDeployment(cfg, track_bytes=True).run(max_time=500)
+        bad = ProBFTDeployment(
+            cfg,
+            track_bytes=True,
+            timeout_policy=FixedTimeout(20.0),
+            byzantine={0: silent_factory()},
+        ).run(max_time=3000)
+        good_avg = (
+            good.network.stats.bytes_by_type["Propose"]
+            / good.network.stats.sent_by_type["Propose"]
+        )
+        bad_avg = (
+            bad.network.stats.bytes_by_type["Propose"]
+            / bad.network.stats.sent_by_type["Propose"]
+        )
+        assert bad_avg > 3 * good_avg
+
+    def test_prepare_bytes_scale_with_sample_size(self):
+        """Prepare messages carry the O(sqrt(n))-sized VRF sample list."""
+        small = ProBFTDeployment(ProtocolConfig(n=16, f=3), track_bytes=True)
+        small.run(max_time=500)
+        big = ProBFTDeployment(ProtocolConfig(n=64, f=12), track_bytes=True)
+        big.run(max_time=500)
+        small_avg = (
+            small.network.stats.bytes_by_type["Prepare"]
+            / small.network.stats.sent_by_type["Prepare"]
+        )
+        big_avg = (
+            big.network.stats.bytes_by_type["Prepare"]
+            / big.network.stats.sent_by_type["Prepare"]
+        )
+        assert big_avg > small_avg

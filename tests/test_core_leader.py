@@ -1,0 +1,122 @@
+"""Tests for leader rotation and the proposal-selection rule."""
+
+import pytest
+
+from repro.core.leader import (
+    compute_proposal,
+    leader_of_view,
+    max_prepared_view,
+    mode_values,
+)
+from repro.messages.probft import NewLeader
+
+from .helpers import make_crypto, make_new_leader, saturated_config
+
+
+class TestLeaderRotation:
+    def test_round_robin(self):
+        assert leader_of_view(1, 4) == 0
+        assert leader_of_view(2, 4) == 1
+        assert leader_of_view(4, 4) == 3
+        assert leader_of_view(5, 4) == 0
+
+    def test_every_replica_leads_within_n_views(self):
+        n = 7
+        leaders = {leader_of_view(v, n) for v in range(1, n + 1)}
+        assert leaders == set(range(n))
+
+    def test_rejects_view_zero(self):
+        with pytest.raises(ValueError):
+            leader_of_view(0, 4)
+
+
+class TestModeValues:
+    def test_unique_mode(self):
+        assert mode_values([b"a", b"a", b"b"]) == frozenset({b"a"})
+
+    def test_tie_returns_all(self):
+        assert mode_values([b"a", b"b"]) == frozenset({b"a", b"b"})
+
+    def test_empty(self):
+        assert mode_values([]) == frozenset()
+
+
+class TestMaxPreparedView:
+    def test_zero_when_none_prepared(self):
+        msgs = [
+            NewLeader(view=2, prepared_view=0, prepared_value=None, cert=())
+            for _ in range(3)
+        ]
+        assert max_prepared_view(msgs) == 0
+
+    def test_takes_max(self):
+        msgs = [
+            NewLeader(view=5, prepared_view=v, prepared_value=b"x", cert=())
+            for v in (1, 3, 2)
+        ]
+        assert max_prepared_view(msgs) == 3
+
+
+class TestComputeProposal:
+    @pytest.fixture
+    def setup(self):
+        cfg = saturated_config()
+        return cfg, make_crypto(cfg)
+
+    def test_no_prepared_uses_own_value(self, setup):
+        cfg, crypto = setup
+        msgs = [make_new_leader(crypto, cfg, s, view=2) for s in range(5)]
+        value, v_max = compute_proposal(msgs, b"mine")
+        assert value == b"mine"
+        assert v_max is None
+
+    def test_prepared_value_wins(self, setup):
+        cfg, crypto = setup
+        msgs = [make_new_leader(crypto, cfg, s, view=3) for s in range(4)]
+        msgs.append(
+            make_new_leader(crypto, cfg, 4, view=3, prepared_view=1,
+                            prepared_value=b"decided")
+        )
+        value, v_max = compute_proposal(msgs, b"mine")
+        assert value == b"decided"
+        assert v_max == 1
+
+    def test_newest_view_beats_popularity(self, setup):
+        cfg, crypto = setup
+        # Two senders prepared "old" in view 1, one prepared "new" in view 2.
+        msgs = [
+            make_new_leader(crypto, cfg, 0, view=3, prepared_view=1,
+                            prepared_value=b"old"),
+            make_new_leader(crypto, cfg, 1, view=3, prepared_view=1,
+                            prepared_value=b"old"),
+            make_new_leader(crypto, cfg, 2, view=3, prepared_view=2,
+                            prepared_value=b"new"),
+        ]
+        value, v_max = compute_proposal(msgs, b"mine")
+        assert value == b"new"
+        assert v_max == 2
+
+    def test_mode_among_newest_view(self, setup):
+        cfg, crypto = setup
+        msgs = [
+            make_new_leader(crypto, cfg, s, view=4, prepared_view=2,
+                            prepared_value=b"major")
+            for s in range(3)
+        ] + [
+            make_new_leader(crypto, cfg, 3, view=4, prepared_view=2,
+                            prepared_value=b"minor")
+        ]
+        value, v_max = compute_proposal(msgs, b"mine")
+        assert value == b"major"
+        assert v_max == 2
+
+    def test_tie_broken_deterministically(self, setup):
+        cfg, crypto = setup
+        msgs = [
+            make_new_leader(crypto, cfg, 0, view=3, prepared_view=1,
+                            prepared_value=b"bbb"),
+            make_new_leader(crypto, cfg, 1, view=3, prepared_view=1,
+                            prepared_value=b"aaa"),
+        ]
+        value, _ = compute_proposal(msgs, b"mine")
+        assert value == b"aaa"  # smallest in byte order

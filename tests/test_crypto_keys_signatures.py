@@ -1,0 +1,106 @@
+"""Tests for repro.crypto.keys and repro.crypto.signatures."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signatures import SignatureScheme
+from repro.errors import SignatureError, UnknownReplicaError
+
+
+class TestKeyRegistry:
+    def test_deterministic_derivation(self):
+        r1 = KeyRegistry(5, master_seed=b"seed")
+        r2 = KeyRegistry(5, master_seed=b"seed")
+        for i in range(5):
+            assert r1.key_pair(i) == r2.key_pair(i)
+
+    def test_different_seeds_different_keys(self):
+        r1 = KeyRegistry(5, master_seed=b"a")
+        r2 = KeyRegistry(5, master_seed=b"b")
+        assert r1.key_pair(0) != r2.key_pair(0)
+
+    def test_all_keys_distinct(self):
+        reg = KeyRegistry(50)
+        privates = {reg.key_pair(i).private_key for i in range(50)}
+        publics = {reg.key_pair(i).public_key for i in range(50)}
+        assert len(privates) == 50
+        assert len(publics) == 50
+
+    def test_unknown_replica(self):
+        reg = KeyRegistry(5)
+        with pytest.raises(UnknownReplicaError):
+            reg.key_pair(7)
+
+    def test_resolve_public(self):
+        reg = KeyRegistry(5)
+        pair = reg.key_pair(3)
+        assert reg.resolve_public(pair.public_key).replica == 3
+        with pytest.raises(UnknownReplicaError):
+            reg.resolve_public(b"\x00" * 32)
+
+    def test_public_keys_bulk(self):
+        reg = KeyRegistry(5)
+        keys = reg.public_keys([0, 2])
+        assert set(keys) == {0, 2}
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            KeyRegistry(0)
+
+
+class TestSignatures:
+    @pytest.fixture
+    def scheme(self):
+        return SignatureScheme(KeyRegistry(10))
+
+    def test_sign_verify_roundtrip(self, scheme):
+        signed = scheme.sign(2, ("hello", 42))
+        assert scheme.verify(signed)
+
+    def test_tampered_payload_rejected(self, scheme):
+        from dataclasses import replace
+
+        signed = scheme.sign(2, ("hello", 42))
+        forged = replace(signed, payload=("hello", 43))
+        assert not scheme.verify(forged)
+
+    def test_wrong_signer_claim_rejected(self, scheme):
+        from dataclasses import replace
+
+        signed = scheme.sign(2, "msg")
+        forged = replace(signed, signer=3)
+        assert not scheme.verify(forged)
+
+    def test_forging_with_wrong_key_fails(self, scheme):
+        # Adversary holds replica 5's key but claims to be replica 2.
+        registry = KeyRegistry(10)
+        stolen = registry.key_pair(5).private_key
+        forged = scheme.sign_with(stolen, 2, "msg")
+        assert not scheme.verify(forged)
+
+    def test_unknown_signer_rejected(self, scheme):
+        from dataclasses import replace
+
+        signed = scheme.sign(2, "msg")
+        forged = replace(signed, signer=99)
+        assert not scheme.verify(forged)
+
+    def test_require_valid_raises(self, scheme):
+        from dataclasses import replace
+
+        signed = scheme.sign(1, "x")
+        scheme.require_valid(signed)  # no raise
+        with pytest.raises(SignatureError):
+            scheme.require_valid(replace(signed, payload="y"))
+
+    def test_signatures_differ_per_signer(self, scheme):
+        assert scheme.sign(1, "x").signature != scheme.sign(2, "x").signature
+
+    def test_signatures_differ_per_payload(self, scheme):
+        assert scheme.sign(1, "x").signature != scheme.sign(1, "y").signature
+
+    def test_signed_is_canonically_encodable(self, scheme):
+        from repro.crypto.hashing import stable_encode
+
+        signed = scheme.sign(1, ("a", 1))
+        assert stable_encode(signed) == stable_encode(scheme.sign(1, ("a", 1)))

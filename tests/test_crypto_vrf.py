@@ -1,0 +1,133 @@
+"""Tests for repro.crypto.vrf (paper §2.4)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.vrf import VRF, VRFOutput, phase_seed
+from repro.errors import VRFError
+
+
+@pytest.fixture
+def vrf():
+    return VRF(KeyRegistry(30))
+
+
+class TestProve:
+    def test_sample_size_and_distinctness(self, vrf):
+        out = vrf.prove(3, "seed", 10)
+        assert len(out.sample) == 10
+        assert len(set(out.sample)) == 10
+        assert all(0 <= r < 30 for r in out.sample)
+
+    def test_deterministic(self, vrf):
+        assert vrf.prove(3, "seed", 10) == vrf.prove(3, "seed", 10)
+
+    def test_different_seeds_different_samples(self, vrf):
+        # Collision resistance: distinct seeds give (a.s.) distinct samples.
+        a = vrf.prove(3, phase_seed(1, "prepare"), 10)
+        b = vrf.prove(3, phase_seed(1, "commit"), 10)
+        assert a.sample != b.sample or a.proof != b.proof
+
+    def test_different_replicas_different_samples(self, vrf):
+        a = vrf.prove(3, "seed", 10)
+        b = vrf.prove(4, "seed", 10)
+        assert a.proof != b.proof
+
+    def test_full_sample(self, vrf):
+        out = vrf.prove(0, "s", 30)
+        assert sorted(out.sample) == list(range(30))
+
+    def test_invalid_sizes(self, vrf):
+        with pytest.raises(VRFError):
+            vrf.prove(0, "s", 0)
+        with pytest.raises(VRFError):
+            vrf.prove(0, "s", 31)
+
+
+class TestVerify:
+    def test_valid_output_verifies(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        assert vrf.verify(5, "seed", 8, out)
+
+    def test_wrong_replica_rejected(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        assert not vrf.verify(6, "seed", 8, out)
+
+    def test_wrong_seed_rejected(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        assert not vrf.verify(5, "other", 8, out)
+
+    def test_wrong_size_rejected(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        assert not vrf.verify(5, "seed", 9, out)
+
+    def test_tampered_sample_rejected(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        replaced = next(r for r in range(30) if r not in out.sample)
+        tampered = replace(out, sample=(replaced,) + tuple(out.sample[1:]))
+        assert not vrf.verify(5, "seed", 8, tampered)
+
+    def test_forged_proof_rejected(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        forged = replace(out, proof=b"\x00" * 32)
+        assert not vrf.verify(5, "seed", 8, forged)
+
+    def test_uniqueness(self, vrf):
+        """A prover cannot produce two different valid outputs for one input."""
+        out = vrf.prove(5, "seed", 8)
+        # Any alternative sample fails verification (proof is a function of
+        # (sk, seed, s) and the sample is a function of the proof).
+        other = vrf.prove(5, "other-seed", 8)
+        hybrid = VRFOutput(sample=other.sample, proof=out.proof)
+        assert not vrf.verify(5, "seed", 8, hybrid)
+
+    def test_require_valid(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        vrf.require_valid(5, "seed", 8, out)
+        with pytest.raises(VRFError):
+            vrf.require_valid(6, "seed", 8, out)
+
+    def test_unknown_replica_rejected(self, vrf):
+        out = vrf.prove(5, "seed", 8)
+        assert not vrf.verify(99, "seed", 8, out)
+
+
+class TestUniformity:
+    def test_inclusion_frequency_roughly_uniform(self, vrf):
+        """Pseudorandomness sanity: each replica appears in ~s/n of samples."""
+        n, s, draws = 30, 10, 600
+        counts = [0] * n
+        for k in range(draws):
+            out = vrf.prove(k % n, f"seed-{k}", s)
+            for r in out.sample:
+                counts[r] += 1
+        expected = draws * s / n
+        for c in counts:
+            assert 0.6 * expected < c < 1.4 * expected
+
+    def test_membership_prob_matches_s_over_n(self, vrf):
+        n, s, draws = 30, 10, 900
+        hits = sum(
+            1 for k in range(draws) if 7 in vrf.prove(k % n, f"z{k}", s).sample
+        )
+        assert abs(hits / draws - s / n) < 0.06
+
+
+class TestPhaseSeed:
+    def test_format(self):
+        assert phase_seed(3, "prepare") == "3||prepare"
+        assert phase_seed(3, "commit") == "3||commit"
+
+    def test_domain_scoping(self):
+        assert phase_seed(3, "prepare", "slot-1") == "slot-1#3||prepare"
+        assert phase_seed(3, "prepare", "slot-1") != phase_seed(3, "prepare", "slot-2")
+
+    def test_distinct_across_views_and_phases(self):
+        seeds = {
+            phase_seed(v, t)
+            for v in range(1, 10)
+            for t in ("prepare", "commit")
+        }
+        assert len(seeds) == 18

@@ -1,0 +1,102 @@
+"""Tests for the experiment harness (runner, metrics, scenarios)."""
+
+import math
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness.metrics import (
+    ProportionEstimate,
+    mean,
+    stddev,
+    wilson_interval,
+)
+from repro.harness.runner import (
+    good_case_metrics,
+    run_hotstuff,
+    run_pbft,
+    run_probft,
+)
+
+
+class TestMetrics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert math.isnan(mean([]))
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0]) == pytest.approx(math.sqrt(2.0))
+        assert stddev([5.0]) == 0.0
+
+    def test_wilson_interval_contains_point(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_wilson_interval_extremes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and high > 0.0
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and low < 1.0
+
+    def test_wilson_narrows_with_trials(self):
+        w1 = wilson_interval(8, 10)
+        w2 = wilson_interval(800, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_wilson_invalid(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_proportion_estimate(self):
+        est = ProportionEstimate(90, 100)
+        assert est.point == pytest.approx(0.9)
+        assert est.compatible_with(0.9)
+        assert not est.compatible_with(0.2)
+        assert "0.9" in str(est)
+
+
+class TestRunners:
+    def test_run_probft_result_fields(self):
+        result = run_probft(ProtocolConfig(n=10, f=2), max_time=500)
+        assert result.protocol == "probft"
+        assert result.all_decided
+        assert result.agreement_ok
+        assert result.decided == result.n_correct == 10
+        assert result.max_view == 1
+        assert result.decision_views == (1,)
+        assert result.total_messages > 0
+
+    def test_protocol_messages_excludes_wishes(self):
+        from repro.sync.timeouts import FixedTimeout
+        from repro.adversary.behaviors import silent_factory
+
+        result = run_probft(
+            ProtocolConfig(n=10, f=2),
+            timeout_policy=FixedTimeout(20.0),
+            byzantine={0: silent_factory()},
+            max_time=2000,
+        )
+        assert result.messages_by_type.get("Wish", 0) > 0
+        assert (
+            result.protocol_messages
+            == result.total_messages - result.messages_by_type["Wish"]
+        )
+
+    def test_all_three_protocols_agree_on_interface(self):
+        cfg = ProtocolConfig(n=10, f=2)
+        for runner in (run_probft, run_pbft, run_hotstuff):
+            result = runner(cfg, max_time=500)
+            assert result.all_decided and result.agreement_ok
+
+    def test_good_case_steps(self):
+        cfg = ProtocolConfig(n=10, f=2)
+        assert good_case_metrics("probft", cfg).steps == pytest.approx(3.0)
+        assert good_case_metrics("pbft", cfg).steps == pytest.approx(3.0)
+        assert good_case_metrics("hotstuff", cfg).steps == pytest.approx(8.0)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            good_case_metrics("paxos", ProtocolConfig(n=10, f=2))

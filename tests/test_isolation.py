@@ -1,0 +1,72 @@
+"""Cross-deployment and cross-instance isolation tests."""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.core.protocol import ProBFTDeployment
+from repro.crypto.context import CryptoContext
+from repro.crypto.vrf import phase_seed
+
+
+class TestDeploymentIsolation:
+    def test_different_seeds_different_keys(self):
+        a = ProBFTDeployment(ProtocolConfig(n=5, f=1), seed=1)
+        b = ProBFTDeployment(ProtocolConfig(n=5, f=1), seed=2)
+        assert (
+            a.crypto.registry.public_key(0) != b.crypto.registry.public_key(0)
+        )
+
+    def test_cross_deployment_messages_rejected(self):
+        """Messages signed in one deployment never verify in another."""
+        a = ProBFTDeployment(ProtocolConfig(n=5, f=1), seed=1)
+        b = ProBFTDeployment(ProtocolConfig(n=5, f=1), seed=2)
+        signed = a.crypto.signatures.sign(0, "hello")
+        assert a.crypto.signatures.verify(signed)
+        assert not b.crypto.signatures.verify(signed)
+
+    def test_cross_deployment_vrf_rejected(self):
+        a = CryptoContext.create(8, master_seed=b"one")
+        b = CryptoContext.create(8, master_seed=b"two")
+        out = a.vrf.prove(3, "seed", 4)
+        assert a.vrf.verify(3, "seed", 4, out)
+        assert not b.vrf.verify(3, "seed", 4, out)
+
+    def test_two_deployments_run_independently(self):
+        a = ProBFTDeployment(ProtocolConfig(n=8, f=1), seed=1)
+        b = ProBFTDeployment(ProtocolConfig(n=8, f=1), seed=2)
+        a.run(max_time=500)
+        b.run(max_time=500)
+        assert a.all_correct_decided() and b.all_correct_decided()
+        assert a.sim is not b.sim
+        assert a.network.stats is not b.network.stats
+
+
+class TestDomainIsolation:
+    def test_statements_do_not_cross_domains(self):
+        """A replica in domain A ignores proposals signed for domain B."""
+        from repro.core.predicates import safe_proposal
+
+        from .helpers import make_crypto, make_propose, saturated_config
+
+        cfg_a = saturated_config(seed_domain="instance-A")
+        cfg_b = saturated_config(seed_domain="instance-B")
+        crypto = make_crypto(cfg_a)
+        propose_b = make_propose(crypto, cfg_b, view=1, value=b"v")
+        assert safe_proposal(propose_b, cfg_b, crypto)
+        assert not safe_proposal(propose_b, cfg_a, crypto)
+
+    def test_vrf_samples_differ_across_domains(self):
+        crypto = CryptoContext.create(30)
+        a = crypto.vrf.prove(1, phase_seed(1, "prepare", "slot-1"), 10)
+        b = crypto.vrf.prove(1, phase_seed(1, "prepare", "slot-2"), 10)
+        assert a.proof != b.proof
+
+    def test_domain_scoped_runs_both_complete(self):
+        """Two domain-scoped deployments (as the SMR layer creates) both
+        decide; their VRF samples and signatures are unrelated."""
+        for domain in ("slot-1", "slot-2"):
+            cfg = ProtocolConfig(n=10, f=2, seed_domain=domain)
+            dep = ProBFTDeployment(cfg, seed=3)
+            dep.run(max_time=500)
+            assert dep.all_correct_decided()
+            assert dep.agreement_ok

@@ -1,0 +1,155 @@
+"""Tests for the partially synchronous network."""
+
+import pytest
+
+from repro.errors import NotRegisteredError
+from repro.net.faults import Partition, PreGstChaos
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.network import Network, message_type_name
+from repro.net.simulator import Simulator
+from repro.net.transport import Transport
+
+
+def make_net(n=4, latency=None, gst=0.0, chaos=None):
+    sim = Simulator()
+    net = Network(sim, n, latency=latency or ConstantLatency(1.0), gst=gst, chaos=chaos)
+    inboxes = {r: [] for r in range(n)}
+    for r in range(n):
+        net.register(r, lambda src, msg, r=r: inboxes[r].append((src, msg)))
+    return sim, net, inboxes
+
+
+class TestDelivery:
+    def test_send_delivers_after_latency(self):
+        sim, net, inboxes = make_net()
+        t = net.send(0, 1, "hello")
+        assert t == pytest.approx(1.0)
+        sim.run()
+        assert inboxes[1] == [(0, "hello")]
+
+    def test_broadcast_excludes_self_by_default(self):
+        sim, net, inboxes = make_net()
+        net.broadcast(0, "m")
+        sim.run()
+        assert inboxes[0] == []
+        assert all(inboxes[r] == [(0, "m")] for r in range(1, 4))
+
+    def test_broadcast_include_self(self):
+        sim, net, inboxes = make_net()
+        net.broadcast(0, "m", include_self=True)
+        sim.run()
+        assert inboxes[0] == [(0, "m")]
+
+    def test_multicast(self):
+        sim, net, inboxes = make_net()
+        net.multicast(0, [1, 3], "m")
+        sim.run()
+        assert inboxes[1] == [(0, "m")]
+        assert inboxes[2] == []
+        assert inboxes[3] == [(0, "m")]
+
+    def test_unregistered_destination_raises(self):
+        sim = Simulator()
+        net = Network(sim, 4)
+        with pytest.raises(NotRegisteredError):
+            net.send(0, 1, "m")
+
+    def test_register_out_of_range(self):
+        sim = Simulator()
+        net = Network(sim, 4)
+        with pytest.raises(NotRegisteredError):
+            net.register(7, lambda s, m: None)
+
+
+class TestPartialSynchrony:
+    def test_post_gst_delivery_within_delta(self):
+        sim, net, _ = make_net(latency=UniformLatency(0.5, 2.0, seed=1), gst=0.0)
+        for _ in range(200):
+            t = net.send(0, 1, "m")
+            assert t <= sim.now + 2.0
+
+    def test_pre_gst_messages_delivered_by_gst_plus_delta(self):
+        sim, net, inboxes = make_net(
+            latency=ConstantLatency(1.0),
+            gst=50.0,
+            chaos=PreGstChaos(max_extra=1000.0, seed=2),
+        )
+        deliveries = [net.send(0, 1, f"m{i}") for i in range(100)]
+        assert all(t <= 51.0 for t in deliveries)
+        sim.run()
+        assert len(inboxes[1]) == 100
+
+    def test_partition_heals_before_gst(self):
+        sim, net, inboxes = make_net(
+            latency=ConstantLatency(1.0),
+            gst=30.0,
+            chaos=Partition(group_a=[0, 1], heal_time=20.0),
+        )
+        t = net.send(0, 2, "cross")
+        assert 20.0 <= t <= 31.0
+        t2 = net.send(0, 1, "same-side")
+        assert t2 == pytest.approx(1.0)
+
+    def test_delivery_strictly_in_future(self):
+        sim, net, _ = make_net()
+        t = net.send(0, 1, "m")
+        assert t > sim.now
+
+
+class TestStats:
+    def test_counts_by_type_and_total(self):
+        class Ping:
+            TYPE = "Ping"
+
+        sim, net, _ = make_net()
+        net.send(0, 1, Ping())
+        net.broadcast(2, Ping())
+        sim.run()
+        assert net.stats.sent("Ping") == 4
+        assert net.stats.sent_total == 4
+        assert net.stats.delivered_total == 4
+        assert net.stats.sent_by_replica[2] == 3
+
+    def test_summary_sorted_with_total(self):
+        sim, net, _ = make_net()
+        net.send(0, 1, "x")
+        summary = net.stats.summary()
+        assert summary["TOTAL"] == 1
+
+    def test_message_type_name_unwraps_signed(self):
+        from repro.crypto.context import CryptoContext
+        from repro.sync.synchronizer import Wish
+
+        crypto = CryptoContext.create(4)
+        signed = crypto.signatures.sign(0, Wish(view=1))
+        assert message_type_name(signed) == "Wish"
+
+    def test_message_type_name_plain(self):
+        assert message_type_name("x") == "str"
+
+
+class TestTransport:
+    def test_transport_binds_source(self):
+        sim, net, inboxes = make_net()
+        t = Transport(net, 2)
+        t.send(0, "m")
+        t.broadcast("b")
+        sim.run()
+        assert (2, "m") in inboxes[0]
+        assert (2, "b") in inboxes[1]
+        assert all(m != (2, "b") for m in inboxes[2])
+
+    def test_transport_properties(self):
+        sim, net, _ = make_net()
+        t = Transport(net, 2)
+        assert t.replica == 2
+        assert t.n == 4
+        assert t.now == 0.0
+
+    def test_transport_schedule(self):
+        sim, net, _ = make_net()
+        t = Transport(net, 0)
+        fired = []
+        t.schedule(5.0, lambda: fired.append(t.now))
+        sim.run()
+        assert fired == [5.0]

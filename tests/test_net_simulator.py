@@ -1,0 +1,150 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(9.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_zero_delay_runs_after_current_event(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            sim.schedule(0.0, lambda: order.append("inner"))
+            order.append("outer")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append("x")))
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        assert fired == []
+        assert sim.now == 5.0
+        sim.run()  # remaining event still fires afterwards
+        assert fired == ["late"]
+
+    def test_run_until_with_no_events_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert len(fired) == 3
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as e:
+                errors.append(e)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,104 @@
+"""Tests for quorum collectors."""
+
+import pytest
+
+from repro.errors import QuorumError
+from repro.quorum.deterministic import DeterministicQuorumCollector
+from repro.quorum.probabilistic import ProbabilisticQuorumCollector, QuorumCollector
+
+
+class TestQuorumCollector:
+    def test_fires_exactly_at_threshold(self):
+        c = QuorumCollector(threshold=3)
+        assert not c.add("k", 1, "a")
+        assert not c.add("k", 2, "b")
+        assert c.add("k", 3, "c")
+
+    def test_fires_only_once(self):
+        c = QuorumCollector(threshold=2)
+        c.add("k", 1, "a")
+        assert c.add("k", 2, "b")
+        assert not c.add("k", 3, "c")
+        assert c.has_quorum("k")
+
+    def test_duplicate_senders_ignored(self):
+        c = QuorumCollector(threshold=2)
+        assert not c.add("k", 1, "a")
+        assert not c.add("k", 1, "a2")
+        assert not c.add("k", 1, "a3")
+        assert c.count("k") == 1
+        assert c.add("k", 2, "b")
+
+    def test_keys_are_independent(self):
+        c = QuorumCollector(threshold=2)
+        c.add("k1", 1, "a")
+        c.add("k2", 1, "a")
+        assert c.count("k1") == 1
+        assert c.count("k2") == 1
+        assert not c.has_quorum("k1")
+
+    def test_quorum_messages_returns_first_threshold(self):
+        c = QuorumCollector(threshold=2)
+        c.add("k", 1, "m1")
+        c.add("k", 2, "m2")
+        c.add("k", 3, "m3")
+        assert c.quorum_messages("k") == ("m1", "m2")
+
+    def test_quorum_messages_without_quorum_raises(self):
+        c = QuorumCollector(threshold=5)
+        c.add("k", 1, "m1")
+        with pytest.raises(QuorumError):
+            c.quorum_messages("k")
+
+    def test_messages_in_arrival_order(self):
+        c = QuorumCollector(threshold=10)
+        for i in range(5):
+            c.add("k", i, f"m{i}")
+        assert c.messages("k") == tuple(f"m{i}" for i in range(5))
+
+    def test_senders(self):
+        c = QuorumCollector(threshold=3)
+        c.add("k", 4, "a")
+        c.add("k", 9, "b")
+        assert c.senders("k") == {4, 9}
+
+    def test_empty_key_queries(self):
+        c = QuorumCollector(threshold=2)
+        assert c.count("nope") == 0
+        assert c.senders("nope") == set()
+        assert c.messages("nope") == ()
+        assert not c.has_quorum("nope")
+
+    def test_clear(self):
+        c = QuorumCollector(threshold=1)
+        c.add("k", 1, "m")
+        c.clear()
+        assert c.count("k") == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(QuorumError):
+            QuorumCollector(threshold=0)
+
+    def test_keys_listing(self):
+        c = QuorumCollector(threshold=2)
+        c.add("a", 1, "m")
+        c.add("b", 1, "m")
+        assert set(c.keys()) == {"a", "b"}
+
+
+class TestDeterministicQuorumCollector:
+    def test_threshold_is_paper_formula(self):
+        c = DeterministicQuorumCollector(n=100, f=33)
+        assert c.threshold == 67
+        assert c.n == 100 and c.f == 33
+
+    def test_small_system(self):
+        c = DeterministicQuorumCollector(n=4, f=1)
+        assert c.threshold == 3
+
+
+class TestProbabilisticQuorumCollector:
+    def test_is_a_quorum_collector(self):
+        c = ProbabilisticQuorumCollector(5)
+        assert isinstance(c, QuorumCollector)
+        assert c.threshold == 5

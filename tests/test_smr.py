@@ -1,0 +1,228 @@
+"""Tests for the SMR extension (multi-slot replication)."""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.smr.app import NOOP, CounterApp, KeyValueApp
+from repro.smr.log import DecisionLog
+from repro.smr.service import SMRDeployment
+
+
+class TestApps:
+    def test_counter_operations(self):
+        app = CounterApp()
+        assert app.apply(b"INC") == b"1"
+        assert app.apply(b"ADD:10") == b"11"
+        assert app.apply(b"DEC") == b"10"
+        assert app.snapshot() == 10
+
+    def test_counter_rejects_garbage(self):
+        app = CounterApp()
+        assert app.apply(b"FLY") == b"error:unknown-command"
+        assert app.apply(b"ADD:xyz") == b"error:bad-operand"
+        assert app.snapshot() == 0
+
+    def test_counter_noop(self):
+        app = CounterApp()
+        assert app.apply(NOOP) == b"ok"
+        assert app.snapshot() == 0
+
+    def test_kv_operations(self):
+        app = KeyValueApp()
+        assert app.apply(b"SET k v") == b"ok"
+        assert app.apply(b"SET k2 v2") == b"ok"
+        assert app.apply(b"DEL k") == b"ok"
+        assert app.apply(b"DEL k") == b"missing"
+        assert app.snapshot() == ((b"k2", b"v2"),)
+
+    def test_kv_rejects_garbage(self):
+        app = KeyValueApp()
+        assert app.apply(b"SET too many parts here") == b"error:unknown-command"
+
+    def test_determinism(self):
+        cmds = [b"INC", b"ADD:5", b"DEC", NOOP, b"INC"]
+        a, b = CounterApp(), CounterApp()
+        for c in cmds:
+            a.apply(c)
+            b.apply(c)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestDecisionLog:
+    def test_in_order_application(self):
+        log = DecisionLog(CounterApp())
+        assert log.record(1, b"INC") == [1]
+        assert log.record(2, b"INC") == [2]
+        assert log.applied_up_to == 2
+        assert log.app.snapshot() == 2
+
+    def test_out_of_order_buffered(self):
+        log = DecisionLog(CounterApp())
+        assert log.record(3, b"INC") == []
+        assert log.record(2, b"ADD:10") == []
+        assert log.applied_up_to == 0
+        assert log.record(1, b"INC") == [1, 2, 3]
+        assert log.app.snapshot() == 12
+
+    def test_duplicate_same_value_noop(self):
+        log = DecisionLog(CounterApp())
+        log.record(1, b"INC")
+        assert log.record(1, b"INC") == []
+        assert log.app.snapshot() == 1
+
+    def test_conflicting_decision_raises(self):
+        log = DecisionLog(CounterApp())
+        log.record(1, b"INC")
+        with pytest.raises(RuntimeError):
+            log.record(1, b"DEC")
+
+    def test_result_tracking(self):
+        log = DecisionLog(CounterApp())
+        log.record(1, b"ADD:7")
+        assert log.result_of(1) == b"7"
+        assert log.result_of(2) is None
+
+    def test_invalid_slot(self):
+        log = DecisionLog(CounterApp())
+        with pytest.raises(ValueError):
+            log.record(0, b"INC")
+
+
+class TestSMRIntegration:
+    def test_counter_replication(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(cfg, CounterApp, num_slots=4, seed=1)
+        for cmd in (b"INC", b"ADD:5", b"DEC"):
+            dep.submit_to_all(cmd)
+        dep.run(max_time=20_000)
+        assert dep.all_applied()
+        assert dep.logs_consistent()
+        assert dep.snapshots_consistent()
+        # All three commands plus a NOOP filler were ordered.
+        snapshot = list(dep.snapshots().values())[0]
+        assert snapshot == 5
+
+    def test_kv_replication(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(cfg, KeyValueApp, num_slots=3, seed=2)
+        dep.submit_to_all(b"SET a 1")
+        dep.submit_to_all(b"SET b 2")
+        dep.submit_to_all(b"DEL a")
+        dep.run(max_time=20_000)
+        assert dep.all_applied()
+        assert dep.snapshots_consistent()
+        assert list(dep.snapshots().values())[0] == ((b"b", b"2"),)
+
+    def test_empty_workload_fills_with_noops(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(cfg, CounterApp, num_slots=2, seed=3)
+        dep.run(max_time=20_000)
+        assert dep.all_applied()
+        for replica in dep.replicas.values():
+            assert replica.log.value_of(1) == NOOP
+
+    def test_silent_byzantine_members_tolerated(self):
+        cfg = ProtocolConfig(n=10, f=2)
+        dep = SMRDeployment(
+            cfg, CounterApp, num_slots=3, seed=4, byzantine_ids=[8, 9]
+        )
+        dep.submit_to_all(b"INC")
+        dep.run(max_time=40_000)
+        assert dep.all_applied()
+        assert dep.logs_consistent()
+
+    def test_too_many_byzantine_rejected(self):
+        with pytest.raises(ValueError):
+            SMRDeployment(
+                ProtocolConfig(n=7, f=2),
+                CounterApp,
+                num_slots=1,
+                byzantine_ids=[4, 5, 6],
+            )
+
+    def test_slots_use_distinct_domains(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(cfg, CounterApp, num_slots=2, seed=5)
+        dep.run(max_time=20_000)
+        replica = dep.replicas[0]
+        slot1 = replica.slot_replica(1)
+        slot2 = replica.slot_replica(2)
+        assert slot1.config.seed_domain == "slot-1"
+        assert slot2.config.seed_domain == "slot-2"
+
+    def test_smr_replica_rejects_pre_domained_config(self):
+        from repro.smr.replica import SMRReplica
+
+        cfg = ProtocolConfig(n=7, f=2, seed_domain="oops")
+        with pytest.raises(ValueError):
+            SMRReplica(0, cfg, None, None, CounterApp(), num_slots=1)
+
+    def test_linearized_order_identical_across_replicas(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(cfg, CounterApp, num_slots=5, seed=6)
+        for i in range(4):
+            dep.submit_to_all(b"ADD:%d" % i)
+        dep.run(max_time=40_000)
+        orders = {
+            tuple(r.log.value_of(s) for s in range(1, 6))
+            for r in dep.replicas.values()
+        }
+        assert len(orders) == 1
+
+
+class TestPipelining:
+    def test_pipelined_run_is_faster(self):
+        from repro.smr.service import SMRDeployment as Dep
+
+        cfg = ProtocolConfig(n=10, f=2)
+        seq = Dep(cfg, CounterApp, num_slots=6, seed=1, pipeline=1)
+        seq.submit_to_all(b"INC")
+        seq.run(max_time=50_000)
+        pipe = Dep(cfg, CounterApp, num_slots=6, seed=1, pipeline=4)
+        pipe.submit_to_all(b"INC")
+        pipe.run(max_time=50_000)
+        assert pipe.sim.now < seq.sim.now
+        assert pipe.all_applied() and pipe.logs_consistent()
+        assert pipe.snapshots_consistent()
+
+    def test_pipelined_state_matches_sequential(self):
+        from repro.smr.service import SMRDeployment as Dep
+
+        cfg = ProtocolConfig(n=7, f=2)
+        results = []
+        for pipeline in (1, 3):
+            dep = Dep(cfg, CounterApp, num_slots=5, seed=2, pipeline=pipeline)
+            for i in range(4):
+                dep.submit_to_all(b"ADD:%d" % (i + 1))
+            dep.run(max_time=50_000)
+            assert dep.all_applied()
+            results.append(list(dep.snapshots().values())[0])
+        # Same commands applied -> same final counter regardless of pipelining.
+        assert results[0] == results[1]
+
+    def test_invalid_pipeline_rejected(self):
+        from repro.smr.replica import SMRReplica
+
+        with pytest.raises(ValueError):
+            SMRReplica(
+                0,
+                ProtocolConfig(n=7, f=2),
+                None,
+                None,
+                CounterApp(),
+                num_slots=1,
+                pipeline=0,
+            )
+
+    def test_pipeline_with_byzantine_members(self):
+        from repro.smr.service import SMRDeployment as Dep
+
+        cfg = ProtocolConfig(n=10, f=2)
+        dep = Dep(
+            cfg, CounterApp, num_slots=4, seed=3, pipeline=3,
+            byzantine_ids=[8, 9],
+        )
+        dep.submit_to_all(b"INC")
+        dep.run(max_time=50_000)
+        assert dep.all_applied()
+        assert dep.logs_consistent()

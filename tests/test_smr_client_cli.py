@@ -1,0 +1,95 @@
+"""Tests for the SMR client and the command-line interface."""
+
+import math
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import ProtocolConfig
+from repro.smr.app import CounterApp
+from repro.smr.client import SMRClient
+from repro.smr.service import SMRDeployment
+
+
+class TestSMRClient:
+    def make(self, slots=3):
+        dep = SMRDeployment(
+            ProtocolConfig(n=7, f=2), CounterApp, num_slots=slots, seed=11
+        )
+        return dep, SMRClient(dep)
+
+    def test_requests_complete_with_latency(self):
+        dep, client = self.make()
+        client.submit(b"INC")
+        client.submit(b"ADD:4")
+        dep.run(max_time=20_000)
+        assert client.all_completed()
+        for record in client.requests:
+            assert record.latency is not None and record.latency > 0
+            assert record.slot is not None
+            assert len(record.acked_by) >= dep.config.f + 1
+
+    def test_mean_latency(self):
+        dep, client = self.make()
+        client.submit(b"INC")
+        dep.run(max_time=20_000)
+        assert not math.isnan(client.mean_latency())
+        assert client.mean_latency() >= 3.0  # at least one consensus round
+
+    def test_duplicate_command_rejected(self):
+        _dep, client = self.make()
+        client.submit(b"INC")
+        with pytest.raises(ValueError):
+            client.submit(b"INC")
+
+    def test_incomplete_without_run(self):
+        _dep, client = self.make()
+        client.submit(b"INC")
+        assert not client.all_completed()
+        assert math.isnan(client.mean_latency())
+
+    def test_apply_recorder_still_chained(self):
+        dep, client = self.make(slots=2)
+        client.submit(b"INC")
+        dep.run(max_time=20_000)
+        # The deployment's own applied record still fills in.
+        assert dep.applied
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "probft", "--n", "10"])
+        assert args.protocol == "probft" and args.n == 10
+
+    def test_run_probft(self, capsys):
+        code = main(["run", "probft", "--n", "10", "--f", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement" in out and "True" in out
+
+    def test_run_pbft_and_hotstuff(self, capsys):
+        assert main(["run", "pbft", "--n", "7", "--f", "2"]) == 0
+        assert main(["run", "hotstuff", "--n", "7", "--f", "2"]) == 0
+
+    def test_attack(self, capsys):
+        code = main(["attack", "--n", "16", "--f", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "equivocation attack" in out
+
+    def test_figures(self, capsys):
+        code = main(["figures"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 1b" in out and "Figure 5" in out
+
+    def test_smr(self, capsys):
+        code = main(["smr", "--n", "7", "--f", "2", "--slots", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "logs consistent" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,114 @@
+"""Tests for the streamlined (view-change-free) ProBFT variant."""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.net.latency import UniformLatency
+from repro.streamlined import GENESIS, Block, StreamDeployment
+from repro.streamlined.block import vote_seed
+
+
+class TestBlocks:
+    def test_hash_deterministic_and_distinct(self):
+        a = Block(epoch=1, parent=GENESIS.hash(), payload=b"x")
+        b = Block(epoch=1, parent=GENESIS.hash(), payload=b"x")
+        c = Block(epoch=1, parent=GENESIS.hash(), payload=b"y")
+        assert a.hash() == b.hash()
+        assert a.hash() != c.hash()
+        assert a.hash() != GENESIS.hash()
+
+    def test_vote_seed_scoping(self):
+        assert vote_seed(3) == "3||stream-vote"
+        assert vote_seed(3, "chain-1") != vote_seed(3)
+        assert vote_seed(3) != vote_seed(4)
+
+
+class TestHappyChain:
+    def test_chain_grows_and_finalizes(self):
+        dep = StreamDeployment(ProtocolConfig(n=16, f=3), seed=1, max_epochs=20)
+        dep.run(min_finalized_height=5, max_time=200)
+        assert dep.min_finalized_height() >= 5
+        assert dep.chains_consistent()
+
+    def test_finalized_blocks_have_consecutive_structure(self):
+        dep = StreamDeployment(ProtocolConfig(n=16, f=3), seed=2, max_epochs=20)
+        dep.run(min_finalized_height=4, max_time=200)
+        chain = dep.replicas[0].finalized_chain
+        assert chain[0] == GENESIS
+        for parent, child in zip(chain, chain[1:]):
+            assert child.parent == parent.hash()
+            assert child.epoch > parent.epoch
+
+    def test_throughput_one_block_per_epoch(self):
+        """In the synchronous good case every epoch notarizes one block."""
+        dep = StreamDeployment(
+            ProtocolConfig(n=16, f=3), seed=3, max_epochs=12, epoch_duration=3.0
+        )
+        dep.run(min_finalized_height=8, max_time=100)
+        # Height h finalized by roughly epoch h+2 (Streamlet lag of one).
+        assert dep.sim.now <= 12 * 3.0
+
+    def test_payloads_come_from_epoch_leaders(self):
+        dep = StreamDeployment(ProtocolConfig(n=10, f=2), seed=4, max_epochs=15)
+        dep.run(min_finalized_height=3, max_time=200)
+        for block in dep.replicas[0].finalized_chain[1:]:
+            leader = (block.epoch - 1) % 10
+            assert block.payload == f"block-e{block.epoch}-r{leader}".encode()
+
+
+class TestFaults:
+    def test_silent_epoch_leaders_skipped(self):
+        """Byzantine (silent) leaders waste their epochs; the chain still
+        grows — with NO view-change messages of any kind."""
+        cfg = ProtocolConfig(n=16, f=3)
+        dep = StreamDeployment(
+            cfg, seed=5, max_epochs=30, byzantine_ids=[0, 14, 15]
+        )
+        dep.run(min_finalized_height=3, max_time=300)
+        assert dep.min_finalized_height() >= 3
+        assert dep.chains_consistent()
+        # No synchronizer / NewLeader traffic exists in this protocol.
+        assert dep.network.stats.sent("Wish") == 0
+        assert dep.network.stats.sent("NewLeader") == 0
+        # Skipped epochs: finalized blocks' epochs have gaps at Byzantine
+        # leaders' epochs.
+        epochs = {b.epoch for b in dep.replicas[1].finalized_chain[1:]}
+        assert 1 not in epochs  # epoch 1's leader (replica 0) was silent
+
+    def test_jittery_network_consistent(self):
+        cfg = ProtocolConfig(n=13, f=3)
+        dep = StreamDeployment(
+            cfg,
+            seed=6,
+            latency=UniformLatency(0.3, 1.0, seed=6),
+            epoch_duration=3.0,
+            max_epochs=25,
+        )
+        dep.run(min_finalized_height=4, max_time=300)
+        assert dep.chains_consistent()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_consistency_across_seeds(self, seed):
+        dep = StreamDeployment(
+            ProtocolConfig(n=12, f=2), seed=seed, max_epochs=20
+        )
+        dep.run(min_finalized_height=3, max_time=300)
+        assert dep.chains_consistent()
+
+    def test_too_many_byzantine_rejected(self):
+        with pytest.raises(ValueError):
+            StreamDeployment(
+                ProtocolConfig(n=10, f=2), byzantine_ids=[7, 8, 9]
+            )
+
+
+class TestMessageComplexity:
+    def test_votes_scale_with_sample_size_not_n_squared(self):
+        cfg = ProtocolConfig(n=36, f=7)
+        dep = StreamDeployment(cfg, seed=7, max_epochs=10)
+        dep.run(min_finalized_height=3, max_time=100)
+        epochs_run = max(r.current_epoch for r in dep.replicas.values())
+        votes = dep.network.stats.sent("StreamVote")
+        # Per epoch: at most n senders x sample size (minus self-sends).
+        assert votes <= epochs_run * cfg.n * cfg.sample_size
+        assert votes > 0.3 * epochs_run * cfg.n * cfg.sample_size

@@ -1,0 +1,108 @@
+"""Tests for the sweep runner and table rendering."""
+
+import math
+
+import pytest
+
+from repro.harness.sweep import SweepPoint, run_sweep
+from repro.harness.tables import format_cell, render_series, render_table, sparkline
+
+
+class TestSweep:
+    def test_cartesian_grid(self):
+        result = run_sweep(
+            {"a": [1, 2], "b": [10, 20]},
+            lambda p: {"sum": p["a"] + p["b"]},
+        )
+        assert result.column("sum") == [11, 21, 12, 22]
+        assert result.headers == ["a", "b", "sum"]
+
+    def test_table_rows(self):
+        result = run_sweep({"x": [3]}, lambda p: {"y": p["x"] * 2})
+        assert result.table_rows() == [[3, 6]]
+
+    def test_filtered(self):
+        result = run_sweep(
+            {"a": [1, 2], "b": [10, 20]},
+            lambda p: {"sum": p["a"] + p["b"]},
+        )
+        sub = result.filtered(a=2)
+        assert sub.column("sum") == [12, 22]
+
+    def test_column_unknown_key(self):
+        result = run_sweep({"x": [1]}, lambda p: {"y": 1})
+        with pytest.raises(KeyError):
+            result.column("z")
+
+    def test_inconsistent_outputs_rejected(self):
+        def fn(point: SweepPoint):
+            return {"a": 1} if point["x"] == 1 else {"b": 2}
+
+        with pytest.raises(ValueError):
+            run_sweep({"x": [1, 2]}, fn)
+
+    def test_point_as_row(self):
+        point = SweepPoint(params={"n": 10, "o": 1.7})
+        assert point.as_row(["o", "n"]) == [1.7, 10]
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "n/a"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_cell(1.5e-7)
+
+    def test_integer_float(self):
+        assert format_cell(3.0) == "3"
+
+    def test_regular_float(self):
+        assert format_cell(0.123456789) == "0.123457"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["x", "y"], [[1, 2], [3, 4]], title="T")
+        assert "T" in text
+        assert "x" in text and "y" in text
+        assert "3" in text and "4" in text
+
+    def test_column_alignment(self):
+        text = render_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len({line.index("v") for line in lines[:1]}) == 1
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert "[1 .. 5]" in line
+
+    def test_constant_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert "[2 .. 2]" in line
+
+    def test_empty(self):
+        assert sparkline([]) == "(no data)"
+
+    def test_nan_handling(self):
+        line = sparkline([1.0, float("nan"), 3.0])
+        assert "?" in line
+
+
+class TestRenderSeries:
+    def test_includes_all_curves(self):
+        text = render_series(
+            "n", [1, 2], {"up": [0.1, 0.9], "down": [0.9, 0.1]}, title="S"
+        )
+        assert "up" in text and "down" in text and "S" in text

@@ -1,0 +1,85 @@
+"""Tests for the receiver-targeted adversarial scheduler."""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.core.invariants import audit_deployment
+from repro.core.protocol import ProBFTDeployment
+from repro.net.faults import ReceiverTargetedChaos
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.sync.timeouts import FixedTimeout
+
+
+class TestPolicy:
+    def test_only_victims_delayed_pre_gst(self):
+        chaos = ReceiverTargetedChaos(victims=[3, 4], extra=100.0)
+        assert chaos.extra_delay(0.0, 50.0, 0, 3) == 100.0
+        assert chaos.extra_delay(0.0, 50.0, 0, 2) == 0.0
+        assert chaos.extra_delay(60.0, 50.0, 0, 3) == 0.0
+
+    def test_sender_agnostic(self):
+        """The paper's §2.1 constraint: delay independent of the sender."""
+        chaos = ReceiverTargetedChaos(victims=[3], extra=10.0)
+        delays = {chaos.extra_delay(0.0, 50.0, src, 3) for src in range(10)}
+        assert delays == {10.0}
+
+    def test_invalid_extra(self):
+        with pytest.raises(ValueError):
+            ReceiverTargetedChaos(victims=[1], extra=-1.0)
+
+    def test_network_clamps_to_gst_deadline(self):
+        sim = Simulator()
+        net = Network(
+            sim,
+            4,
+            latency=ConstantLatency(1.0),
+            gst=20.0,
+            chaos=ReceiverTargetedChaos(victims=[1], extra=1e9),
+        )
+        net.register(1, lambda s, m: None)
+        t = net.send(0, 1, "m")
+        assert t <= 21.0  # GST + delta
+
+
+class TestProtocolUnderTargeting:
+    def test_victims_decide_after_gst(self):
+        """Starved replicas catch up once GST passes; agreement holds."""
+        cfg = ProtocolConfig(n=13, f=4)
+        victims = [9, 10, 11, 12]
+        dep = ProBFTDeployment(
+            cfg,
+            seed=4,
+            latency=ConstantLatency(1.0),
+            gst=40.0,
+            chaos=ReceiverTargetedChaos(victims=victims),
+            timeout_policy=FixedTimeout(60.0),
+        )
+        dep.run(max_time=5000)
+        assert dep.all_correct_decided()
+        assert dep.agreement_ok
+        assert audit_deployment(dep).ok
+        # Victims decided strictly later than the unstarved replicas.
+        victim_times = [dep.decisions[v].time for v in victims]
+        other_times = [
+            d.time for r, d in dep.decisions.items() if r not in victims
+        ]
+        assert min(victim_times) >= max(other_times)
+        assert min(victim_times) >= 40.0  # only after GST
+
+    def test_targeting_quorum_sized_victim_set_safe(self):
+        """Even starving more than q replicas cannot break safety."""
+        cfg = ProtocolConfig(n=16, f=3)
+        victims = list(range(8, 16))  # half the system
+        dep = ProBFTDeployment(
+            cfg,
+            seed=5,
+            latency=ConstantLatency(1.0),
+            gst=50.0,
+            chaos=ReceiverTargetedChaos(victims=victims),
+            timeout_policy=FixedTimeout(80.0),
+        )
+        dep.run(max_time=5000)
+        assert dep.agreement_ok
+        assert dep.all_correct_decided()
