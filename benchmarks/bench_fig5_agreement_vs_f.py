@@ -7,6 +7,7 @@ probability of ensuring agreement decreases as f/n grows.
 import pytest
 
 from repro.analysis import agreement as A
+from repro.harness.parallel import ExperimentEngine, workers_from_env
 from repro.harness.tables import render_series
 from repro.montecarlo.experiments import estimate_agreement_violation
 
@@ -15,8 +16,11 @@ F_RATIOS = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30]
 O_VALUES = (1.6, 1.7, 1.8)
 TRIALS = 1200
 
+WORKERS = workers_from_env("REPRO_BENCH_WORKERS")
 
-def compute_curves():
+
+def compute_curves(workers: int = WORKERS):
+    engine = ExperimentEngine(workers=workers)
     curves = {}
     for o in O_VALUES:
         paper, exact, mc_pair = [], [], []
@@ -27,7 +31,7 @@ def compute_curves():
             )
             exact.append(A.agreement_in_view_exact(N, f, o, 2.0, variant="pair"))
             result = estimate_agreement_violation(
-                N, f, o, trials=TRIALS, seed=int(ratio * 1000)
+                N, f, o, trials=TRIALS, seed=int(ratio * 1000), engine=engine
             )
             side = result.estimates["side_decides_fixed"].point
             mc_pair.append(1.0 - side**2)

@@ -16,6 +16,7 @@ full-protocol runs in tests).
 import pytest
 
 from repro.analysis import agreement as A
+from repro.harness.parallel import ExperimentEngine, workers_from_env
 from repro.harness.tables import render_series
 from repro.montecarlo.experiments import estimate_agreement_violation
 
@@ -24,8 +25,13 @@ F_RATIO = 0.2
 O_VALUES = (1.6, 1.7, 1.8)
 TRIALS = 1200
 
+#: Process-pool size for the Monte-Carlo trials; 0 = serial.  The engine's
+#: counter-based seeds make results identical for every worker count.
+WORKERS = workers_from_env("REPRO_BENCH_WORKERS")
 
-def compute_curves():
+
+def compute_curves(workers: int = WORKERS):
+    engine = ExperimentEngine(workers=workers)
     curves = {}
     for o in O_VALUES:
         paper, exact, mc_pair = [], [], []
@@ -34,7 +40,7 @@ def compute_curves():
             paper.append(1.0 - A.theorem7_violation_bound(n, f, o, 2.0, strict=False))
             exact.append(A.agreement_in_view_exact(n, f, o, 2.0, variant="pair"))
             result = estimate_agreement_violation(
-                n, f, o, trials=TRIALS, seed=n
+                n, f, o, trials=TRIALS, seed=n, engine=engine
             )
             side = result.estimates["side_decides_fixed"].point
             mc_pair.append(1.0 - side**2)

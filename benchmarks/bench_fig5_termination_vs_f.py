@@ -8,6 +8,7 @@ correct-leader view *decreases* as f/n grows (the y-axis in the paper spans
 import pytest
 
 from repro.analysis import termination as T
+from repro.harness.parallel import ExperimentEngine, workers_from_env
 from repro.harness.tables import render_series
 from repro.montecarlo.experiments import estimate_termination
 
@@ -16,8 +17,11 @@ F_RATIOS = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30]
 O_VALUES = (1.6, 1.7, 1.8)
 TRIALS = 300
 
+WORKERS = workers_from_env("REPRO_BENCH_WORKERS")
 
-def compute_curves():
+
+def compute_curves(workers: int = WORKERS):
+    engine = ExperimentEngine(workers=workers)
     curves = {}
     for o in O_VALUES:
         paper, exact, mc = [], [], []
@@ -26,7 +30,7 @@ def compute_curves():
             paper.append(T.lemma4_replica_terminates(N, f, o, 2.0, strict=False))
             exact.append(T.replica_terminates_exact(N, f, o, 2.0))
             result = estimate_termination(
-                N, f, o, trials=TRIALS, seed=int(ratio * 100)
+                N, f, o, trials=TRIALS, seed=int(ratio * 100), engine=engine
             )
             mc.append(result.estimates["per_replica_decides"].point)
         curves[f"bound o={o}"] = paper

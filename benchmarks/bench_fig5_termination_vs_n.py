@@ -11,6 +11,7 @@ binomial chain, and a Monte-Carlo estimate of the same sampling process.
 import pytest
 
 from repro.analysis import termination as T
+from repro.harness.parallel import ExperimentEngine, workers_from_env
 from repro.harness.tables import render_series
 from repro.montecarlo.experiments import estimate_termination
 
@@ -19,8 +20,11 @@ F_RATIO = 0.2
 O_VALUES = (1.6, 1.7, 1.8)
 TRIALS = 250
 
+WORKERS = workers_from_env("REPRO_BENCH_WORKERS")
 
-def compute_curves():
+
+def compute_curves(workers: int = WORKERS):
+    engine = ExperimentEngine(workers=workers)
     curves = {}
     for o in O_VALUES:
         paper, exact, mc = [], [], []
@@ -28,7 +32,9 @@ def compute_curves():
             f = int(F_RATIO * n)
             paper.append(T.lemma4_replica_terminates(n, f, o, 2.0, strict=False))
             exact.append(T.replica_terminates_exact(n, f, o, 2.0))
-            result = estimate_termination(n, f, o, trials=TRIALS, seed=n)
+            result = estimate_termination(
+                n, f, o, trials=TRIALS, seed=n, engine=engine
+            )
             mc.append(result.estimates["per_replica_decides"].point)
         curves[f"bound o={o}"] = paper
         curves[f"exact o={o}"] = exact

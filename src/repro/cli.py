@@ -6,12 +6,17 @@ Commands:
   the outcome;
 * ``attack``   — run the Figure-4c equivocation attack;
 * ``figures``  — print the analytic Figure 1b / Figure 5 series;
-* ``smr``      — run a multi-slot replicated counter.
+* ``smr``      — run a multi-slot replicated counter;
+* ``sweep``    — run a named scenario matrix (protocols × adversaries ×
+  latency models) through the parallel experiment engine and print a table
+  or JSON report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 from typing import List, Optional
 
@@ -131,6 +136,73 @@ def cmd_smr(args) -> int:
     return 0 if deployment.all_applied() else 1
 
 
+def cmd_sweep(args) -> int:
+    from .harness.registry import get_matrix, list_matrices, run_matrix
+
+    if args.trials < 1:
+        print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    try:
+        matrix = get_matrix(args.matrix)
+    except KeyError:
+        print(
+            f"unknown matrix {args.matrix!r}; available: "
+            f"{', '.join(list_matrices())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.n is not None or args.f is not None:
+        matrix = matrix.with_size(
+            args.n if args.n is not None else matrix.n, args.f
+        )
+    report = run_matrix(
+        matrix,
+        trials=args.trials,
+        master_seed=args.seed,
+        workers=args.workers,
+        max_time=args.max_time,
+    )
+    if args.json:
+        # NaN (e.g. mean decision time when nothing decided) is not valid
+        # JSON; emit null so strict parsers accept the report.
+        rows = [
+            {
+                k: (None if isinstance(v, float) and math.isnan(v) else v)
+                for k, v in row.items()
+            }
+            for row in report.rows
+        ]
+        print(
+            json.dumps(
+                {
+                    "matrix": report.matrix,
+                    "trials": report.trials,
+                    "master_seed": report.master_seed,
+                    "workers": args.workers,
+                    "rows": rows,
+                },
+                indent=2,
+                allow_nan=False,
+            )
+        )
+    else:
+        print(
+            render_table(
+                report.headers,
+                report.table_rows(),
+                title=(
+                    f"scenario matrix {report.matrix!r}: {report.trials} "
+                    f"trial(s)/cell, master seed {report.master_seed}, "
+                    f"workers={args.workers}"
+                ),
+            )
+        )
+    return 0 if report.all_agreement_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -161,6 +233,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_smr.add_argument("--slots", type=int, default=5)
     p_smr.add_argument("--max-time", type=float, default=50_000.0)
     p_smr.set_defaults(fn=cmd_smr)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a named scenario matrix through the parallel engine"
+    )
+    p_sweep.add_argument(
+        "matrix",
+        nargs="?",
+        default="smoke",
+        help="matrix name (see repro.harness.registry.MATRICES); default smoke",
+    )
+    p_sweep.add_argument(
+        "--trials", type=int, default=1, help="seeded trials per cell"
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size; 0/1 = in-process serial (same results)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0, help="master seed")
+    p_sweep.add_argument("--n", type=int, default=None, help="override system size")
+    p_sweep.add_argument("--f", type=int, default=None, help="override fault count")
+    p_sweep.add_argument("--max-time", type=float, default=5000.0)
+    p_sweep.add_argument(
+        "--json", action="store_true", help="emit a JSON report instead of a table"
+    )
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     return parser
 

@@ -6,10 +6,83 @@
   summaries) for Monte-Carlo experiments.
 * :mod:`repro.harness.scenarios` — named scenario builders used by tests,
   examples, and benchmarks.
+* :mod:`repro.harness.parallel` — the parallel Monte-Carlo experiment
+  engine (:class:`ExperimentEngine`).
+* :mod:`repro.harness.registry` — the scenario registry (string-addressable
+  builders) and :class:`ScenarioMatrix` (protocols × adversaries × latency
+  cross products).
+* :mod:`repro.harness.sweep` — grid sweeps over parameter axes, optionally
+  parallel.
+
+Running sweeps
+==============
+
+The Monte-Carlo estimators, grid sweeps, and scenario matrices all fan
+their trials through :class:`~repro.harness.parallel.ExperimentEngine`::
+
+    from repro.harness import ExperimentEngine
+    from repro.montecarlo.experiments import estimate_termination
+
+    # One-off: pass workers= to any estimator.
+    result = estimate_termination(300, 60, 1.7, trials=5000, workers=8)
+
+    # Shared: configure one engine, reuse it across calls.
+    engine = ExperimentEngine(workers=8)
+    result = estimate_termination(300, 60, 1.7, trials=5000, engine=engine)
+
+From the command line, ``python -m repro sweep [matrix] --trials T
+--workers K`` runs a named scenario matrix (see
+:data:`repro.harness.registry.MATRICES`) and prints a per-cell table, or
+JSON with ``--json``.
+
+Determinism guarantees
+----------------------
+
+* Trial ``i`` of a run with master seed ``m`` always draws from a generator
+  seeded with ``derive_seed(m, i)`` — a pure counter-based splitter with no
+  global RNG state — so a trial's randomness is independent of scheduling.
+* Results are collected in submission order regardless of completion order,
+  so even order-sensitive float aggregation is reproducible.
+* Consequently **serial (``workers=0``) and parallel (``workers=k``) runs
+  of the same experiment are bit-identical**, and ``workers`` may be chosen
+  purely for speed.  ``tests/test_seed_stability.py`` pins golden per-seed
+  outputs; re-record those goldens in the same commit as any intentional
+  RNG-stream change.
+
+Worker configuration
+--------------------
+
+``workers=0`` (default) and ``workers=1`` run in-process — no pool, no
+pickling requirements, pdb-friendly.  ``workers>1`` spawns that many pool
+processes (values above the core count are allowed; the OS time-slices).
+Trial functions crossing a pool boundary must be picklable (module-level
+functions or partials of them); a failing trial raises
+:class:`~repro.harness.parallel.TrialError` carrying the trial index, seed,
+and worker traceback.
 """
 
 from .runner import RunResult, run_probft, run_pbft, run_hotstuff, good_case_metrics
 from .metrics import mean, stddev, wilson_interval, ProportionEstimate
+from .parallel import (
+    ExperimentEngine,
+    TrialError,
+    TrialSpec,
+    derive_seed,
+    spawn_seeds,
+    workers_from_env,
+)
+from .registry import (
+    MATRICES,
+    MatrixReport,
+    ScenarioMatrix,
+    build_scenario,
+    get_matrix,
+    get_scenario,
+    list_matrices,
+    list_scenarios,
+    run_matrix,
+    scenario,
+)
 from .scenarios import (
     happy_case,
     silent_leader_case,
@@ -29,6 +102,22 @@ __all__ = [
     "stddev",
     "wilson_interval",
     "ProportionEstimate",
+    "ExperimentEngine",
+    "TrialError",
+    "TrialSpec",
+    "derive_seed",
+    "spawn_seeds",
+    "workers_from_env",
+    "MATRICES",
+    "MatrixReport",
+    "ScenarioMatrix",
+    "build_scenario",
+    "get_matrix",
+    "get_scenario",
+    "list_matrices",
+    "list_scenarios",
+    "run_matrix",
+    "scenario",
     "happy_case",
     "silent_leader_case",
     "crash_case",

@@ -1,0 +1,274 @@
+"""Parallel Monte-Carlo experiment engine.
+
+The Figure-5 experiments are embarrassingly parallel: every trial is an
+independent function of its own seed.  :class:`ExperimentEngine` exploits
+that by fanning ``(index, seed, params)`` trial specs across a
+``multiprocessing`` pool while keeping one hard guarantee:
+
+**serial and parallel execution produce bit-identical results.**
+
+Two mechanisms make that hold:
+
+* *counter-based seed splitting* — every trial's seed is derived from the
+  master seed and the trial index alone (`derive_seed`, a SplitMix64-style
+  integer mix with no :mod:`random`/:mod:`numpy` state involved), so a
+  trial's randomness never depends on which process runs it or in which
+  order trials complete;
+* *submission-order collection* — :meth:`ExperimentEngine.map` returns
+  results in the order the specs were submitted regardless of completion
+  order, so even order-sensitive aggregation (e.g. float summation) is
+  reproducible.
+
+``workers <= 1`` selects an in-process serial path (no pool, no pickling)
+that runs the exact same per-trial computation — handy for debugging with
+pdb or coverage.  Trial functions given to the parallel path must be
+picklable: module-level functions, ``functools.partial`` of module-level
+functions, or picklable callables.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import multiprocessing
+import multiprocessing.pool
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "ExperimentEngine",
+    "TrialError",
+    "TrialSpec",
+    "derive_seed",
+    "spawn_seeds",
+    "workers_from_env",
+]
+
+
+def workers_from_env(var: str = "REPRO_WORKERS", default: int = 0) -> int:
+    """Worker count from an environment variable; invalid values mean default.
+
+    Shared by the benchmarks (``REPRO_BENCH_WORKERS``) so the parsing rule
+    lives in one place: a non-integer or negative value falls back to
+    ``default`` rather than crashing at import time.
+    """
+    raw = os.environ.get(var)
+    if raw is None:
+        return default
+    try:
+        workers = int(raw)
+    except ValueError:
+        return default
+    return workers if workers >= 0 else default
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(z: int) -> int:
+    """One SplitMix64 output step (Steele, Lea & Flood 2014)."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def derive_seed(master_seed: int, index: int) -> int:
+    """Deterministic child seed for trial ``index`` under ``master_seed``.
+
+    A pure integer function (no RNG state), so any worker can compute any
+    trial's seed independently.  Distinct indices under one master seed give
+    statistically independent streams when fed to ``numpy`` /
+    :class:`random.Random` as seeds.
+    """
+    if index < 0:
+        raise ValueError(f"trial index must be >= 0, got {index}")
+    z = _splitmix64((master_seed & _MASK64) + _GOLDEN)
+    return _splitmix64(z + (index + 1) * _GOLDEN)
+
+
+def spawn_seeds(master_seed: int, count: int) -> List[int]:
+    """The first ``count`` child seeds of ``master_seed``, in index order."""
+    return [derive_seed(master_seed, i) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One unit of work: a trial index, its derived seed, and shared params."""
+
+    index: int
+    seed: int
+    params: Any = None
+
+
+class TrialError(RuntimeError):
+    """A trial function raised; carries the failing trial's identity."""
+
+    def __init__(self, index: int, seed: int, detail: str) -> None:
+        super().__init__(f"trial {index} (seed {seed}) failed:\n{detail}")
+        self.index = index
+        self.seed = seed
+        self.detail = detail
+
+
+@dataclass
+class _Outcome:
+    """What crosses the process boundary: a value or a stringified failure."""
+
+    index: int
+    seed: int
+    value: Any = None
+    error: Optional[str] = None
+
+
+def _execute(fn: Callable[[TrialSpec], Any], spec: TrialSpec) -> _Outcome:
+    """Run one trial, capturing any exception as data (always picklable)."""
+    try:
+        return _Outcome(index=spec.index, seed=spec.seed, value=fn(spec))
+    except Exception:
+        return _Outcome(
+            index=spec.index, seed=spec.seed, error=traceback.format_exc()
+        )
+
+
+class ExperimentEngine:
+    """Fans independent trials across processes, deterministically.
+
+    Example:
+        >>> from repro.harness.parallel import ExperimentEngine, TrialSpec
+        >>> engine = ExperimentEngine(workers=0)  # serial
+        >>> engine.run_trials(lambda spec: spec.seed % 7, trials=3)  # doctest: +ELLIPSIS
+        [...]
+
+    ``workers``:
+        * ``0`` or ``1`` — in-process serial execution (identical results);
+        * ``k > 1``      — a pool of ``k`` processes (``k`` may exceed the
+          core count; the OS just time-slices).
+
+    ``chunk_size`` controls how many specs each pool task carries; the
+    default amortizes IPC overhead at roughly four chunks per worker.
+    """
+
+    def __init__(self, workers: int = 0, chunk_size: Optional[int] = None) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool: Optional["multiprocessing.pool.Pool"] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[TrialSpec], Any],
+        specs: Iterable[TrialSpec],
+    ) -> List[Any]:
+        """Evaluate ``fn`` on every spec; results in submission order.
+
+        The first failing trial (in submission order) raises
+        :class:`TrialError` with the worker's traceback, whether the trial
+        ran in-process or in a pool.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.parallel:
+            outcomes = self._map_pool(fn, specs)
+        else:
+            # Serial path fails fast: nothing after the first failing trial
+            # runs (the pool path necessarily completes in-flight chunks),
+            # and the original exception stays reachable via __cause__.
+            outcomes = []
+            for spec in specs:
+                try:
+                    value = fn(spec)
+                except Exception as exc:
+                    raise TrialError(
+                        spec.index, spec.seed, traceback.format_exc()
+                    ) from exc
+                outcomes.append(
+                    _Outcome(index=spec.index, seed=spec.seed, value=value)
+                )
+        results: List[Any] = []
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise TrialError(outcome.index, outcome.seed, outcome.error)
+            results.append(outcome.value)
+        return results
+
+    def _get_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the worker pool (a later map() transparently re-creates it)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _map_pool(
+        self, fn: Callable[[TrialSpec], Any], specs: Sequence[TrialSpec]
+    ) -> List[_Outcome]:
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(specs) / (self.workers * 4))
+        )
+        worker = functools.partial(_execute, fn)
+        # Pool.map preserves input order, so no re-sorting is needed.  The
+        # pool persists across map() calls, so a shared engine amortizes
+        # process startup over a whole experiment series.
+        return self._get_pool().map(worker, specs, chunksize=chunk)
+
+    # ------------------------------------------------------------------
+    # Trial fan-out
+    # ------------------------------------------------------------------
+    def run_trials(
+        self,
+        fn: Callable[[TrialSpec], Any],
+        trials: int,
+        master_seed: int = 0,
+        params: Any = None,
+    ) -> List[Any]:
+        """Run ``trials`` independent trials of ``fn`` under ``master_seed``.
+
+        Trial ``i`` receives ``TrialSpec(i, derive_seed(master_seed, i),
+        params)``; results come back in trial order.
+        """
+        if trials < 0:
+            raise ValueError(f"trials must be >= 0, got {trials}")
+        specs = [
+            TrialSpec(index=i, seed=derive_seed(master_seed, i), params=params)
+            for i in range(trials)
+        ]
+        return self.map(fn, specs)
+
+
+def resolve_engine(
+    engine: Optional[ExperimentEngine], workers: int
+) -> ExperimentEngine:
+    """The caller's engine if given, else a fresh one with ``workers``."""
+    if engine is not None:
+        return engine
+    return ExperimentEngine(workers=workers)

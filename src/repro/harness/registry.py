@@ -1,0 +1,507 @@
+"""Scenario registry and the scenario matrix.
+
+Two layers on top of :mod:`repro.harness.scenarios`:
+
+* a **named registry** — ``@scenario("silent-leader")`` attaches a name and
+  description to a builder so tests, the CLI, and sweep scripts can look
+  scenarios up by string (`get_scenario`, `build_scenario`,
+  `list_scenarios`);
+* a **scenario matrix** — :class:`ScenarioMatrix` crosses protocols ×
+  adversaries × latency models into enumerable :class:`MatrixCell` specs,
+  and :func:`run_matrix` fans ``trials`` seeded runs of every cell through
+  an :class:`~repro.harness.parallel.ExperimentEngine`, aggregating
+  per-cell decision/agreement statistics.
+
+Adversary support is protocol-aware: silence and crashes apply to every
+protocol (the crash wrapper embeds the protocol's own honest replica), while
+equivocation and flooding craft ProBFT messages and are therefore marked
+unsupported for the deterministic baselines — ``cells()`` skips those
+combinations unless asked not to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..adversary.behaviors import CrashReplica, silent_factory
+from ..adversary.equivocation import (
+    double_voter_factory,
+    equivocating_leader_factory,
+    optimal_split,
+)
+from ..adversary.flooding import flooding_factory
+from ..config import ProtocolConfig
+from ..net.faults import PreGstChaos
+from ..net.latency import ConstantLatency, UniformLatency
+from ..sync.timeouts import FixedTimeout
+from . import scenarios as _scenarios
+from .metrics import mean
+from .parallel import ExperimentEngine, TrialSpec, derive_seed, resolve_engine
+from .runner import RunResult, run_hotstuff, run_pbft, run_probft
+
+__all__ = [
+    "ScenarioSpec",
+    "scenario",
+    "get_scenario",
+    "build_scenario",
+    "list_scenarios",
+    "MatrixCell",
+    "ScenarioMatrix",
+    "MatrixReport",
+    "run_matrix",
+    "get_matrix",
+    "list_matrices",
+    "MATRICES",
+    "PROTOCOLS",
+    "ADVERSARIES",
+    "LATENCIES",
+]
+
+
+# ----------------------------------------------------------------------
+# Named scenario registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: name, builder, human description."""
+
+    name: str
+    builder: Callable[..., Any]
+    description: str
+
+    def build(self, config: ProtocolConfig, seed: int = 0, **kwargs):
+        """Build the deployment (extras like attack plans are dropped)."""
+        built = self.builder(config, seed=seed, **kwargs)
+        if isinstance(built, tuple):
+            built = built[0]
+        return built
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def scenario(name: str, description: str = ""):
+    """Decorator: register a scenario builder under ``name``.
+
+    The builder must accept ``(config, seed=..., **kwargs)`` and return a
+    deployment (or a ``(deployment, extras...)`` tuple).
+    """
+
+    def register(fn):
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        doc = (fn.__doc__ or "").strip()
+        _REGISTRY[name] = ScenarioSpec(
+            name=name,
+            builder=fn,
+            description=description or (doc.splitlines()[0] if doc else ""),
+        )
+        return fn
+
+    return register
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario; unknown names raise a clear KeyError."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def build_scenario(name: str, config: ProtocolConfig, seed: int = 0, **kwargs):
+    """Build the named scenario's deployment, ready to ``run()``."""
+    return get_scenario(name).build(config, seed=seed, **kwargs)
+
+
+def list_scenarios() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+# Register the canonical builders from harness.scenarios.  Each wrapper
+# keeps the underlying signature reachable via **kwargs.
+
+scenario("happy", "All replicas correct, synchronous network, unit latency.")(
+    _scenarios.happy_case
+)
+scenario("silent-leader", "View-1 leader is Byzantine-silent; forces a view change.")(
+    _scenarios.silent_leader_case
+)
+scenario("crash", "f replicas crash mid-protocol (view-1 leader survives).")(
+    _scenarios.crash_case
+)
+scenario("pre-gst-chaos", "Asynchronous start: large random pre-GST delays.")(
+    _scenarios.pre_gst_chaos_case
+)
+scenario("equivocation", "The paper's optimal within-view attack (Figure 4c).")(
+    _scenarios.equivocation_case
+)
+scenario("flooding", "Flooders spray forged/duplicate votes at everyone.")(
+    _scenarios.flooding_case
+)
+
+
+# ----------------------------------------------------------------------
+# Scenario matrix
+# ----------------------------------------------------------------------
+
+PROTOCOLS: Tuple[str, ...] = ("probft", "pbft", "hotstuff")
+ADVERSARIES: Tuple[str, ...] = (
+    "none",
+    "silent",
+    "crash",
+    "equivocation",
+    "flooding",
+)
+LATENCIES: Tuple[str, ...] = ("constant", "uniform", "pre-gst-chaos")
+
+_RUNNERS = {"probft": run_probft, "pbft": run_pbft, "hotstuff": run_hotstuff}
+
+#: Adversaries that forge protocol-specific (ProBFT) messages; the
+#: deterministic baselines have no equivalent implementation yet.
+_PROBFT_ONLY_ADVERSARIES = frozenset({"equivocation", "flooding"})
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (protocol, adversary, latency) combination at a fixed (n, f)."""
+
+    protocol: str
+    adversary: str
+    latency: str
+    n: int
+    f: int
+
+    @property
+    def supported(self) -> bool:
+        return not (
+            self.adversary in _PROBFT_ONLY_ADVERSARIES
+            and self.protocol != "probft"
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.protocol}/{self.adversary}/{self.latency}"
+
+
+def _honest_replica_factory(protocol: str):
+    """A factory building the protocol's *honest* replica (for CrashReplica)."""
+    if protocol == "probft":
+        return None  # CrashReplica's built-in default
+    if protocol == "pbft":
+        from ..baselines.pbft.protocol import default_value
+        from ..baselines.pbft.replica import PbftReplica
+
+        cls, default = PbftReplica, default_value
+    elif protocol == "hotstuff":
+        from ..baselines.hotstuff.protocol import default_value
+        from ..baselines.hotstuff.replica import HotStuffReplica
+
+        cls, default = HotStuffReplica, default_value
+    else:
+        raise KeyError(f"unknown protocol {protocol!r}")
+
+    def inner(replica_id, config, crypto, transport):
+        return lambda: cls(
+            replica_id=replica_id,
+            config=config,
+            crypto=crypto,
+            transport=transport,
+            my_value=default(replica_id),
+        )
+
+    return inner
+
+
+def _crash_factory_for(protocol: str, crash_time: float):
+    """Protocol-aware crash adversary: honest until ``crash_time``, then dead."""
+    inner = _honest_replica_factory(protocol)
+
+    def build(replica_id, config, crypto, transport):
+        inner_factory = (
+            inner(replica_id, config, crypto, transport) if inner else None
+        )
+        return CrashReplica(
+            replica_id, config, crypto, transport, crash_time, inner_factory
+        )
+
+    return build
+
+
+def _byzantine_for(cell: MatrixCell, config: ProtocolConfig) -> Dict[int, Any]:
+    """The ``byzantine=`` deployment map realizing the cell's adversary."""
+    if cell.adversary == "none":
+        return {}
+    if cell.adversary == "silent":
+        # Silent view-1 leader: the weakest attack that still forces the
+        # synchronizer to act, meaningful for every protocol.
+        return {0: silent_factory()}
+    if cell.adversary == "crash":
+        return {
+            r: _crash_factory_for(cell.protocol, crash_time=1.5)
+            for r in range(config.n - config.f, config.n)
+        }
+    if cell.adversary == "flooding":
+        return {config.n - 1: flooding_factory()}
+    if cell.adversary == "equivocation":
+        # Mirrors adversary.plans.equivocation_attack_deployment, but as a
+        # byzantine map so it composes with any latency/GST settings.
+        leader = 0
+        colluders = list(range(config.n - (config.f - 1), config.n))
+        plan = optimal_split(config.n, [leader] + colluders, b"attack-A", b"attack-B")
+        byzantine: Dict[int, Any] = {
+            leader: equivocating_leader_factory(plan, attack_view=1)
+        }
+        for replica in colluders:
+            byzantine[replica] = double_voter_factory(plan, leader, attack_view=1)
+        return byzantine
+    raise KeyError(f"unknown adversary {cell.adversary!r}")
+
+
+def _network_for(cell: MatrixCell, seed: int) -> Dict[str, Any]:
+    """Latency-model kwargs (latency, gst, chaos) for the cell."""
+    if cell.latency == "constant":
+        return {"latency": ConstantLatency(1.0)}
+    if cell.latency == "uniform":
+        return {"latency": UniformLatency(0.5, 1.5, seed=seed)}
+    if cell.latency == "pre-gst-chaos":
+        return {
+            "latency": UniformLatency(0.5, 1.5, seed=seed),
+            "gst": 30.0,
+            "chaos": PreGstChaos(max_extra=20.0, seed=seed),
+        }
+    raise KeyError(f"unknown latency model {cell.latency!r}")
+
+
+def run_matrix_cell(spec: TrialSpec) -> Dict[str, Any]:
+    """One seeded run of one matrix cell (module-level: pickles to workers).
+
+    ``spec.params`` is ``(cell, max_time)``; returns a flat result row.
+    """
+    cell, max_time = spec.params
+    if not cell.supported:
+        raise ValueError(
+            f"cell {cell.label} is unsupported: adversary {cell.adversary!r} "
+            f"forges ProBFT messages and cannot target {cell.protocol!r}"
+        )
+    config = ProtocolConfig(n=cell.n, f=cell.f)
+    result: RunResult = _RUNNERS[cell.protocol](
+        config,
+        seed=spec.seed,
+        timeout_policy=FixedTimeout(30.0),
+        byzantine=_byzantine_for(cell, config),
+        max_time=max_time,
+        **_network_for(cell, spec.seed),
+    )
+    return {
+        "protocol": cell.protocol,
+        "adversary": cell.adversary,
+        "latency": cell.latency,
+        "seed": spec.seed,
+        "decided": result.decided,
+        "n_correct": result.n_correct,
+        "all_decided": result.all_decided,
+        "agreement_ok": result.agreement_ok,
+        "max_view": result.max_view,
+        "last_decision_time": result.last_decision_time,
+        "total_messages": result.total_messages,
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A named cross product of protocols × adversaries × latency models."""
+
+    name: str
+    protocols: Tuple[str, ...] = PROTOCOLS
+    adversaries: Tuple[str, ...] = ADVERSARIES
+    latencies: Tuple[str, ...] = LATENCIES
+    n: int = 20
+    f: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for axis, known in (
+            (self.protocols, PROTOCOLS),
+            (self.adversaries, ADVERSARIES),
+            (self.latencies, LATENCIES),
+        ):
+            unknown = set(axis) - set(known)
+            if unknown:
+                raise ValueError(
+                    f"unknown matrix axis values {sorted(unknown)}; "
+                    f"known: {known}"
+                )
+
+    def resolved_f(self) -> int:
+        return self.f if self.f is not None else ProtocolConfig(n=self.n).f
+
+    def cells(self, supported_only: bool = True) -> List[MatrixCell]:
+        """Enumerate the cross product, in axis order.
+
+        ``supported_only=False`` includes combinations whose adversary has
+        no implementation for the protocol (useful for coverage audits).
+        """
+        f = self.resolved_f()
+        out = [
+            MatrixCell(protocol=p, adversary=a, latency=lat, n=self.n, f=f)
+            for p in self.protocols
+            for a in self.adversaries
+            for lat in self.latencies
+        ]
+        if supported_only:
+            out = [c for c in out if c.supported]
+        return out
+
+    def with_size(self, n: int, f: Optional[int] = None) -> "ScenarioMatrix":
+        """The same matrix at a different system size.
+
+        An explicitly pinned ``f`` survives when ``n`` is unchanged; once
+        ``n`` moves, ``f`` is re-derived unless the caller supplies one (a
+        pinned fault count for the old ``n`` may be invalid for the new).
+        """
+        if f is None and n == self.n:
+            f = self.f
+        return ScenarioMatrix(
+            name=self.name,
+            protocols=self.protocols,
+            adversaries=self.adversaries,
+            latencies=self.latencies,
+            n=n,
+            f=f,
+            description=self.description,
+        )
+
+
+@dataclass
+class MatrixReport:
+    """Per-cell aggregates over ``trials`` seeded runs."""
+
+    matrix: str
+    trials: int
+    master_seed: int
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def headers(self) -> List[str]:
+        return [
+            "protocol",
+            "adversary",
+            "latency",
+            "trials",
+            "decide_rate",
+            "agreement_rate",
+            "mean_max_view",
+            "mean_decision_time",
+            "mean_messages",
+        ]
+
+    def table_rows(self) -> List[List[Any]]:
+        return [[row[h] for h in self.headers] for row in self.rows]
+
+    @property
+    def all_agreement_ok(self) -> bool:
+        return all(row["agreement_rate"] == 1.0 for row in self.rows)
+
+
+def run_matrix(
+    matrix: ScenarioMatrix,
+    trials: int = 1,
+    master_seed: int = 0,
+    workers: int = 0,
+    engine: Optional[ExperimentEngine] = None,
+    max_time: float = 5000.0,
+) -> MatrixReport:
+    """Run every supported cell ``trials`` times and aggregate per cell.
+
+    Trial seeds derive from ``(master_seed, global trial index)``, so the
+    report is bit-identical for any worker count.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    cells = matrix.cells(supported_only=True)
+    specs = [
+        TrialSpec(
+            index=i,
+            seed=derive_seed(master_seed, i),
+            params=(cell, max_time),
+        )
+        for i, cell in enumerate(
+            c for c in cells for _ in range(trials)
+        )
+    ]
+    results = resolve_engine(engine, workers).map(run_matrix_cell, specs)
+
+    report = MatrixReport(matrix=matrix.name, trials=trials, master_seed=master_seed)
+    for k, cell in enumerate(cells):
+        chunk = results[k * trials : (k + 1) * trials]
+        decide_rates = [r["decided"] / r["n_correct"] for r in chunk]
+        report.rows.append(
+            {
+                "protocol": cell.protocol,
+                "adversary": cell.adversary,
+                "latency": cell.latency,
+                "trials": trials,
+                "decide_rate": round(mean(decide_rates), 4),
+                "agreement_rate": mean(
+                    [1.0 if r["agreement_ok"] else 0.0 for r in chunk]
+                ),
+                "mean_max_view": mean([float(r["max_view"]) for r in chunk]),
+                "mean_decision_time": round(
+                    mean([r["last_decision_time"] for r in chunk]), 3
+                ),
+                "mean_messages": round(
+                    mean([float(r["total_messages"]) for r in chunk]), 1
+                ),
+            }
+        )
+    return report
+
+
+#: Named matrices the CLI can run.  ``smoke`` is deliberately tiny — it is
+#: the CI target (`repro sweep --trials 4 --workers 2`).
+MATRICES: Dict[str, ScenarioMatrix] = {
+    "smoke": ScenarioMatrix(
+        name="smoke",
+        protocols=("probft",),
+        adversaries=("none", "silent"),
+        latencies=("constant",),
+        n=8,
+        description="2 ProBFT cells at n=8; seconds, not minutes.",
+    ),
+    "probft-adversaries": ScenarioMatrix(
+        name="probft-adversaries",
+        protocols=("probft",),
+        n=20,
+        description="ProBFT under every adversary × latency model at n=20.",
+    ),
+    "full": ScenarioMatrix(
+        name="full",
+        description=(
+            "Every protocol × adversary × latency combination at n=20 "
+            "(unsupported baseline/forgery combos skipped)."
+        ),
+    ),
+}
+
+
+def get_matrix(name: str) -> ScenarioMatrix:
+    """Look up a named matrix; unknown names raise a clear KeyError."""
+    try:
+        return MATRICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {name!r}; known matrices: "
+            f"{', '.join(sorted(MATRICES))}"
+        ) from None
+
+
+def list_matrices() -> List[str]:
+    return sorted(MATRICES)

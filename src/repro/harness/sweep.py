@@ -3,13 +3,29 @@
 A tiny grid-runner used by the benchmarks and examples: define axes, map a
 function over the grid, and collect rows suitable for
 :func:`repro.harness.tables.render_table`.
+
+Grids evaluate through :class:`repro.harness.parallel.ExperimentEngine`:
+``run_sweep(..., workers=k)`` fans the grid points across ``k`` processes
+(the point function must then be picklable — module-level, not a lambda);
+the default ``workers=0`` runs in-process and accepts any callable.  Each
+point also receives a deterministic engine-derived seed via
+``SweepPoint.seed``, so stochastic point functions stay reproducible and
+order-independent.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .parallel import (
+    ExperimentEngine,
+    TrialError,
+    TrialSpec,
+    derive_seed,
+    resolve_engine,
+)
 
 
 @dataclass(frozen=True)
@@ -17,6 +33,8 @@ class SweepPoint:
     """One point of a parameter grid."""
 
     params: Mapping[str, Any]
+    #: Deterministic per-point seed (engine-derived); 0 for hand-built points.
+    seed: int = 0
 
     def __getitem__(self, key: str) -> Any:
         return self.params[key]
@@ -62,14 +80,51 @@ class SweepResult:
         return SweepResult(axes=self.axes, outputs=self.outputs, rows=kept)
 
 
+class _PointTask:
+    """Picklable adapter: unwraps a TrialSpec back into a SweepPoint call.
+
+    In-process (serial) execution shares one instance across points, so the
+    output-key consistency check fails fast at the first offending point;
+    pooled workers get pickled copies and the post-hoc check in
+    :func:`run_sweep` covers them instead.
+    """
+
+    def __init__(self, fn: Callable[[SweepPoint], Mapping[str, Any]]) -> None:
+        self.fn = fn
+        self._keys: Optional[Tuple[str, ...]] = None
+
+    def __call__(self, spec: TrialSpec) -> Dict[str, Any]:
+        out = dict(self.fn(spec.params))
+        keys = tuple(out.keys())
+        if self._keys is None:
+            self._keys = keys
+        elif keys != self._keys:
+            raise ValueError(
+                f"inconsistent output keys at {spec.params.params}: "
+                f"{keys} != {self._keys}"
+            )
+        return out
+
+
 def run_sweep(
     axes: Mapping[str, Iterable[Any]],
     fn: Callable[[SweepPoint], Mapping[str, Any]],
+    workers: int = 0,
+    engine: Optional[ExperimentEngine] = None,
+    master_seed: int = 0,
 ) -> SweepResult:
     """Evaluate ``fn`` on the Cartesian product of ``axes``.
 
     ``fn`` receives a :class:`SweepPoint` and returns a dict of outputs; all
-    points must return the same output keys.
+    points must return the same output keys.  With ``workers > 1`` (or a
+    parallel ``engine``), points evaluate across a process pool — ``fn``
+    must then be picklable — while results keep grid order, so serial and
+    parallel sweeps of deterministic/seed-driven functions are identical.
+
+    Error semantics: in-process execution stops at the first failing point
+    and re-raises its original exception; pooled execution surfaces
+    failures as :class:`~repro.harness.parallel.TrialError` (the original
+    traceback travels as text across the process boundary).
 
     Example:
         >>> result = run_sweep(
@@ -81,11 +136,26 @@ def run_sweep(
     """
     names = tuple(axes.keys())
     grid = list(itertools.product(*(list(v) for v in axes.values())))
+    points = [
+        SweepPoint(params=dict(zip(names, combo)), seed=derive_seed(master_seed, i))
+        for i, combo in enumerate(grid)
+    ]
+    specs = [
+        TrialSpec(index=i, seed=point.seed, params=point)
+        for i, point in enumerate(points)
+    ]
+    try:
+        outs = resolve_engine(engine, workers).map(_PointTask(fn), specs)
+    except TrialError as err:
+        # The in-process path chains the point function's real exception;
+        # surface it directly so callers keep catching the original type.
+        if err.__cause__ is not None:
+            raise err.__cause__
+        raise
+
     rows: List[Tuple[SweepPoint, Dict[str, Any]]] = []
     outputs: Tuple[str, ...] = ()
-    for combo in grid:
-        point = SweepPoint(params=dict(zip(names, combo)))
-        out = dict(fn(point))
+    for point, out in zip(points, outs):
         if not outputs:
             outputs = tuple(out.keys())
         elif tuple(out.keys()) != outputs:

@@ -8,6 +8,14 @@ Two levels of fidelity:
 * **protocol-level** estimators run the full discrete-event simulation with
   real Byzantine replicas, capturing everything the analysis conservatively
   ignores (equivocation detection, view changes, safeProposal).
+
+Every estimator fans its trials through
+:class:`repro.harness.parallel.ExperimentEngine`: trial ``i`` draws from a
+``numpy`` generator seeded with ``derive_seed(seed, i)``, so results are
+bit-identical whether the trials run serially (``workers=0``, the default)
+or across a process pool (``workers=k``), and independent of completion
+order.  Pass ``workers=`` for one-off parallelism or ``engine=`` to share a
+configured engine across calls.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import numpy as np
 
 from ..config import ProtocolConfig, probabilistic_quorum_size, vrf_sample_size
 from ..harness.metrics import ProportionEstimate
+from ..harness.parallel import ExperimentEngine, TrialSpec, resolve_engine
 from .sampling import inclusion_counts, membership_matrix
 
 
@@ -38,18 +47,114 @@ class MonteCarloResult:
         return "\n".join(lines)
 
 
-def _rng(seed: int) -> np.random.Generator:
-    return np.random.default_rng(seed)
-
-
 def _sizes(n: int, o: float, l: float) -> tuple:
     q = probabilistic_quorum_size(n, l)
     s = vrf_sample_size(n, q, o)
     return q, s
 
 
+# ----------------------------------------------------------------------
+# Per-trial functions (module-level so they pickle into pool workers).
+# Each consumes exactly one TrialSpec: seeds come from the engine's
+# deterministic splitter, shared sizes travel in ``spec.params``.
+# ----------------------------------------------------------------------
+
+
+def _prepare_quorum_trial(spec: TrialSpec) -> tuple:
+    n, f, q, s = spec.params
+    rng = np.random.default_rng(spec.seed)
+    n_correct = n - f
+    counts = inclusion_counts(n, n_correct, s, rng)
+    formed = counts[:n_correct] >= q
+    return bool(formed[0]), bool(formed.all())
+
+
+def _termination_trial(spec: TrialSpec) -> tuple:
+    n, f, q, s = spec.params
+    rng = np.random.default_rng(spec.seed)
+    n_correct = n - f
+    prep_counts = inclusion_counts(n, n_correct, s, rng)
+    prepared = prep_counts[:n_correct] >= q
+    m = int(prepared.sum())
+    commit_counts = inclusion_counts(n, m, s, rng)
+    decided = prepared & (commit_counts[:n_correct] >= q)
+    return bool(decided[0]), bool(decided.all()), m / n_correct
+
+
+def _agreement_violation_trial(spec: TrialSpec) -> tuple:
+    n, f, q, s, model_detection = spec.params
+    rng = np.random.default_rng(spec.seed)
+    n_correct = n - f
+    half = n_correct // 2
+    # Layout: C1 = [0, half), C2 = [half, n_correct), F = [n_correct, n).
+    # Prepare phase: side-1 senders are C1 + F, side-2 senders C2 + F.
+    m1 = membership_matrix(n, half, s, rng)  # C1 prepares (val1)
+    m2 = membership_matrix(n, n_correct - half, s, rng)  # C2 (val2)
+    mf = membership_matrix(n, f, s, rng)  # Byzantine (both values)
+    prep1_counts = m1.sum(axis=0) + mf.sum(axis=0)
+    prep2_counts = m2.sum(axis=0) + mf.sum(axis=0)
+    prepared1 = prep1_counts[:half] >= q
+    prepared2 = prep2_counts[half:n_correct] >= q
+
+    # Commit phase: committers are the prepared correct members + F.
+    c1 = membership_matrix(n, int(prepared1.sum()), s, rng)
+    c2 = membership_matrix(n, int(prepared2.sum()), s, rng)
+    cf = membership_matrix(n, f, s, rng)
+    commit1_counts = c1.sum(axis=0) + cf.sum(axis=0)
+    commit2_counts = c2.sum(axis=0) + cf.sum(axis=0)
+    decided1 = prepared1 & (commit1_counts[:half] >= q)
+    decided2 = prepared2 & (commit2_counts[half:n_correct] >= q)
+
+    side_fixed = bool(decided1[0]) if half else False
+    violated = bool(decided1.any() and decided2.any())
+
+    violated_detected = False
+    if model_detection:
+        # A C1 replica touched by any val2 vote (from C2 or the
+        # committers of side 2) detects equivocation and blocks.
+        cross_to_c1 = (m2.sum(axis=0)[:half] + c2.sum(axis=0)[:half]) > 0
+        cross_to_c2 = (
+            m1.sum(axis=0)[half:n_correct] + c1.sum(axis=0)[half:n_correct]
+        ) > 0
+        d1 = decided1 & ~cross_to_c1
+        d2 = decided2 & ~cross_to_c2
+        violated_detected = bool(d1.any() and d2.any())
+    return side_fixed, violated, violated_detected
+
+
+def _viewchange_trial(spec: TrialSpec) -> bool:
+    n, r, q, s = spec.params
+    rng = np.random.default_rng(spec.seed)
+    counts = inclusion_counts(n, r, s, rng)
+    return bool(counts[0] >= q)
+
+
+def _protocol_agreement_trial(spec: TrialSpec) -> tuple:
+    from ..harness.scenarios import equivocation_case
+
+    config, max_time = spec.params
+    deployment, _plan = equivocation_case(config, seed=spec.seed)
+    deployment.run(max_time=max_time)
+    return (
+        not deployment.agreement_ok,
+        not deployment.all_correct_decided(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Estimators
+# ----------------------------------------------------------------------
+
+
 def estimate_prepare_quorum(
-    n: int, f: int, o: float, l: float = 2.0, trials: int = 500, seed: int = 0
+    n: int,
+    f: int,
+    o: float,
+    l: float = 2.0,
+    trials: int = 500,
+    seed: int = 0,
+    workers: int = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MonteCarloResult:
     """Probability of forming a prepare quorum when all correct replicas send.
 
@@ -57,15 +162,11 @@ def estimate_prepare_quorum(
     target) and the all-correct-replicas-form event.
     """
     q, s = _sizes(n, o, l)
-    rng = _rng(seed)
-    n_correct = n - f
-    replica_hits = 0
-    all_hits = 0
-    for _ in range(trials):
-        counts = inclusion_counts(n, n_correct, s, rng)
-        formed = counts[:n_correct] >= q
-        replica_hits += int(formed[0])
-        all_hits += int(formed.all())
+    rows = resolve_engine(engine, workers).run_trials(
+        _prepare_quorum_trial, trials, master_seed=seed, params=(n, f, q, s)
+    )
+    replica_hits = sum(r for r, _ in rows)
+    all_hits = sum(a for _, a in rows)
     return MonteCarloResult(
         trials=trials,
         estimates={
@@ -76,7 +177,14 @@ def estimate_prepare_quorum(
 
 
 def estimate_termination(
-    n: int, f: int, o: float, l: float = 2.0, trials: int = 500, seed: int = 0
+    n: int,
+    f: int,
+    o: float,
+    l: float = 2.0,
+    trials: int = 500,
+    seed: int = 0,
+    workers: int = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MonteCarloResult:
     """Termination in a correct-leader view (Figure 5 right panels).
 
@@ -87,20 +195,12 @@ def estimate_termination(
     worst case Theorem 2 mentions).
     """
     q, s = _sizes(n, o, l)
-    rng = _rng(seed)
-    n_correct = n - f
-    decide_hits = 0
-    all_decide_hits = 0
-    prepared_fracs = []
-    for _ in range(trials):
-        prep_counts = inclusion_counts(n, n_correct, s, rng)
-        prepared = prep_counts[:n_correct] >= q
-        m = int(prepared.sum())
-        prepared_fracs.append(m / n_correct)
-        commit_counts = inclusion_counts(n, m, s, rng)
-        decided = prepared & (commit_counts[:n_correct] >= q)
-        decide_hits += int(decided[0])
-        all_decide_hits += int(decided.all())
+    rows = resolve_engine(engine, workers).run_trials(
+        _termination_trial, trials, master_seed=seed, params=(n, f, q, s)
+    )
+    decide_hits = sum(d for d, _, _ in rows)
+    all_decide_hits = sum(a for _, a, _ in rows)
+    prepared_fracs = [frac for _, _, frac in rows]
     result = MonteCarloResult(
         trials=trials,
         estimates={
@@ -120,6 +220,8 @@ def estimate_agreement_violation(
     trials: int = 2000,
     seed: int = 0,
     model_detection: bool = False,
+    workers: int = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MonteCarloResult:
     """The optimal-split attack (Figure 4c) at the sampling level.
 
@@ -136,56 +238,21 @@ def estimate_agreement_violation(
       protocol, in which such replicas block the view instead of deciding).
     """
     q, s = _sizes(n, o, l)
-    rng = _rng(seed)
-    n_correct = n - f
-    half = n_correct // 2
-    # Layout: C1 = [0, half), C2 = [half, n_correct), F = [n_correct, n).
-    side_fixed_hits = 0
-    violation_hits = 0
-    violation_detected_hits = 0
-    for _ in range(trials):
-        # Prepare phase: side-1 senders are C1 + F, side-2 senders C2 + F.
-        m1 = membership_matrix(n, half, s, rng)  # C1 prepares (val1)
-        m2 = membership_matrix(n, n_correct - half, s, rng)  # C2 (val2)
-        mf = membership_matrix(n, f, s, rng)  # Byzantine (both values)
-        prep1_counts = m1.sum(axis=0) + mf.sum(axis=0)
-        prep2_counts = m2.sum(axis=0) + mf.sum(axis=0)
-        prepared1 = prep1_counts[:half] >= q
-        prepared2 = prep2_counts[half:n_correct] >= q
-
-        # Commit phase: committers are the prepared correct members + F.
-        c1 = membership_matrix(n, int(prepared1.sum()), s, rng)
-        c2 = membership_matrix(n, int(prepared2.sum()), s, rng)
-        cf = membership_matrix(n, f, s, rng)
-        commit1_counts = c1.sum(axis=0) + cf.sum(axis=0)
-        commit2_counts = c2.sum(axis=0) + cf.sum(axis=0)
-        decided1 = prepared1 & (commit1_counts[:half] >= q)
-        decided2 = prepared2 & (commit2_counts[half:n_correct] >= q)
-
-        side_fixed_hits += int(decided1[0]) if half else 0
-        violated = bool(decided1.any() and decided2.any())
-        violation_hits += int(violated)
-
-        if model_detection:
-            # A C1 replica touched by any val2 vote (from C2 or the
-            # committers of side 2) detects equivocation and blocks.
-            cross_to_c1 = (
-                m2.sum(axis=0)[:half] + c2.sum(axis=0)[:half]
-            ) > 0
-            cross_to_c2 = (
-                m1.sum(axis=0)[half:n_correct] + c1.sum(axis=0)[half:n_correct]
-            ) > 0
-            d1 = decided1 & ~cross_to_c1
-            d2 = decided2 & ~cross_to_c2
-            violation_detected_hits += int(d1.any() and d2.any())
-
+    rows = resolve_engine(engine, workers).run_trials(
+        _agreement_violation_trial,
+        trials,
+        master_seed=seed,
+        params=(n, f, q, s, model_detection),
+    )
+    side_fixed_hits = sum(sf for sf, _, _ in rows)
+    violation_hits = sum(v for _, v, _ in rows)
     estimates = {
         "side_decides_fixed": ProportionEstimate(side_fixed_hits, trials),
         "violation_quorums": ProportionEstimate(violation_hits, trials),
     }
     if model_detection:
         estimates["violation_detected"] = ProportionEstimate(
-            violation_detected_hits, trials
+            sum(vd for _, _, vd in rows), trials
         )
     return MonteCarloResult(trials=trials, estimates=estimates)
 
@@ -195,24 +262,25 @@ def estimate_protocol_agreement(
     trials: int = 20,
     seed: int = 0,
     max_time: float = 5000.0,
+    workers: int = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MonteCarloResult:
     """Full-protocol agreement under the optimal equivocation attack.
 
-    Runs the real discrete-event simulation ``trials`` times with different
-    seeds and counts actual disagreement among correct replicas.  Slow;
-    intended for modest trial counts.
+    Runs the real discrete-event simulation ``trials`` times with
+    engine-derived per-trial seeds and counts actual disagreement among
+    correct replicas.  Slow; intended for modest trial counts — but each
+    trial is a whole simulation, so this is also where ``workers>1`` pays
+    off most.
     """
-    from ..harness.scenarios import equivocation_case
-
-    violation_hits = 0
-    undecided_runs = 0
-    for t in range(trials):
-        deployment, _plan = equivocation_case(config, seed=seed + t)
-        deployment.run(max_time=max_time)
-        if not deployment.agreement_ok:
-            violation_hits += 1
-        if not deployment.all_correct_decided():
-            undecided_runs += 1
+    rows = resolve_engine(engine, workers).run_trials(
+        _protocol_agreement_trial,
+        trials,
+        master_seed=seed,
+        params=(config, max_time),
+    )
+    violation_hits = sum(v for v, _ in rows)
+    undecided_runs = sum(u for _, u in rows)
     return MonteCarloResult(
         trials=trials,
         estimates={
@@ -230,6 +298,8 @@ def estimate_viewchange_decide(
     prepared: Optional[int] = None,
     trials: int = 2000,
     seed: int = 0,
+    workers: int = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MonteCarloResult:
     """Lemma 6 / Theorem 8's scenario: only ``prepared`` replicas committed.
 
@@ -240,11 +310,10 @@ def estimate_viewchange_decide(
     """
     q, s = _sizes(n, o, l)
     r = prepared if prepared is not None else (n + f) // 2
-    rng = _rng(seed)
-    hits = 0
-    for _ in range(trials):
-        counts = inclusion_counts(n, r, s, rng)
-        hits += int(counts[0] >= q)
+    rows = resolve_engine(engine, workers).run_trials(
+        _viewchange_trial, trials, master_seed=seed, params=(n, r, q, s)
+    )
+    hits = sum(rows)
     return MonteCarloResult(
         trials=trials,
         estimates={"decides_from_partial_prepare": ProportionEstimate(hits, trials)},

@@ -1,0 +1,143 @@
+"""Tests for the scenario registry and the scenario matrix."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.harness.parallel import TrialSpec, derive_seed
+from repro.harness.registry import (
+    ADVERSARIES,
+    LATENCIES,
+    MATRICES,
+    PROTOCOLS,
+    MatrixCell,
+    ScenarioMatrix,
+    build_scenario,
+    get_matrix,
+    get_scenario,
+    list_matrices,
+    list_scenarios,
+    run_matrix,
+    run_matrix_cell,
+    scenario,
+)
+
+from .helpers import saturated_config
+
+
+class TestRegistry:
+    def test_canonical_scenarios_registered(self):
+        assert list_scenarios() == sorted(
+            [
+                "happy",
+                "silent-leader",
+                "crash",
+                "pre-gst-chaos",
+                "equivocation",
+                "flooding",
+            ]
+        )
+
+    @pytest.mark.parametrize("name", [
+        "happy",
+        "silent-leader",
+        "crash",
+        "pre-gst-chaos",
+        "equivocation",
+        "flooding",
+    ])
+    def test_every_scenario_builds_and_decides(self, name):
+        """Each registered scenario reaches a correct decision at n=8."""
+        deployment = build_scenario(name, saturated_config(), seed=1)
+        deployment.run(max_time=5000)
+        assert deployment.all_correct_decided()
+        assert deployment.agreement_ok
+
+    def test_unknown_name_raises_clear_keyerror(self):
+        with pytest.raises(KeyError, match="unknown scenario 'nope'"):
+            get_scenario("nope")
+        with pytest.raises(KeyError, match="silent-leader"):
+            # The error enumerates what *is* registered.
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            scenario("happy")(lambda config, seed=0: None)
+
+    def test_specs_carry_descriptions(self):
+        for name in list_scenarios():
+            assert get_scenario(name).description
+
+
+class TestMatrixExpansion:
+    def test_full_cross_product_enumerated(self):
+        matrix = get_matrix("full")
+        cells = matrix.cells(supported_only=False)
+        assert len(cells) == len(PROTOCOLS) * len(ADVERSARIES) * len(LATENCIES)
+        combos = {(c.protocol, c.adversary, c.latency) for c in cells}
+        assert combos == set(itertools.product(PROTOCOLS, ADVERSARIES, LATENCIES))
+
+    def test_supported_filter_drops_only_probft_forgeries(self):
+        matrix = get_matrix("full")
+        skipped = {
+            (c.protocol, c.adversary, c.latency)
+            for c in matrix.cells(supported_only=False)
+            if not c.supported
+        }
+        assert skipped == {
+            (p, a, lat)
+            for p in ("pbft", "hotstuff")
+            for a in ("equivocation", "flooding")
+            for lat in LATENCIES
+        }
+
+    def test_unknown_axis_value_rejected(self):
+        with pytest.raises(ValueError, match="unknown matrix axis"):
+            ScenarioMatrix(name="bad", protocols=("paxos",))
+
+    def test_with_size_changes_only_size(self):
+        small = get_matrix("full").with_size(8)
+        assert small.n == 8
+        assert small.protocols == PROTOCOLS
+        assert small.resolved_f() == 2  # (8-1)//3
+
+    def test_named_matrices_lookup(self):
+        assert set(list_matrices()) == set(MATRICES)
+        with pytest.raises(KeyError, match="unknown matrix 'x'"):
+            get_matrix("x")
+
+
+class TestMatrixExecution:
+    def test_unsupported_cell_refuses_to_run(self):
+        cell = MatrixCell(
+            protocol="pbft", adversary="equivocation", latency="constant", n=8, f=2
+        )
+        spec = TrialSpec(index=0, seed=derive_seed(0, 0), params=(cell, 100.0))
+        with pytest.raises(ValueError, match="unsupported"):
+            run_matrix_cell(spec)
+
+    def test_every_supported_cell_decides_with_agreement(self):
+        """All 33 supported protocol×adversary×latency combos run green."""
+        report = run_matrix(get_matrix("full").with_size(8), trials=1, master_seed=3)
+        assert len(report.rows) == 33
+        assert report.all_agreement_ok
+        for row in report.rows:
+            assert row["decide_rate"] == 1.0
+
+    def test_report_shape_matches_headers(self):
+        report = run_matrix(get_matrix("smoke"), trials=2, master_seed=1)
+        assert report.trials == 2
+        for row, rendered in zip(report.rows, report.table_rows()):
+            assert rendered == [row[h] for h in report.headers]
+
+    def test_serial_and_parallel_reports_identical(self):
+        matrix = get_matrix("smoke")
+        serial = run_matrix(matrix, trials=3, master_seed=9, workers=0)
+        pooled = run_matrix(matrix, trials=3, master_seed=9, workers=2)
+        assert serial.rows == pooled.rows
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_matrix(get_matrix("smoke"), trials=0)
