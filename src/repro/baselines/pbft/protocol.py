@@ -38,13 +38,14 @@ class PbftDeployment:
         timeout_policy: Optional[TimeoutPolicy] = None,
         values: Optional[Dict[ReplicaId, Value]] = None,
         byzantine: Optional[Dict[ReplicaId, ByzantineFactory]] = None,
+        crypto: Optional[CryptoContext] = None,
     ) -> None:
         self.config = config
         self.sim = Simulator()
         self.network = Network(
             self.sim, config.n, latency=latency, gst=gst, chaos=chaos
         )
-        self.crypto = CryptoContext.create(
+        self.crypto = crypto if crypto is not None else CryptoContext.pooled(
             config.n, master_seed=digest("pbft-deployment", seed)
         )
         self.decisions: Dict[ReplicaId, Decision] = {}

@@ -9,7 +9,9 @@ Commands:
 * ``smr``      — run a multi-slot replicated counter;
 * ``sweep``    — run a named scenario matrix (protocols × adversaries ×
   latency models) through the parallel experiment engine and print a table
-  or JSON report.
+  or JSON report;
+* ``plot``     — render Figure-5 style plots (metric vs system size) from
+  one or more ``sweep --json`` reports (requires matplotlib).
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from .analysis import agreement as A
 from .analysis import messages as M
 from .analysis import termination as T
 from .config import ProtocolConfig
-from .harness.runner import run_hotstuff, run_pbft, run_probft
+from .harness.runner import run_protocol
 from .harness.tables import render_series, render_table
 
 
@@ -42,10 +44,9 @@ def _config(args) -> ProtocolConfig:
 
 def cmd_run(args) -> int:
     config = _config(args)
-    runner = {"probft": run_probft, "pbft": run_pbft, "hotstuff": run_hotstuff}[
-        args.protocol
-    ]
-    result = runner(config, seed=args.seed, max_time=args.max_time)
+    result = run_protocol(
+        args.protocol, config, seed=args.seed, max_time=args.max_time
+    )
     rows = [
         ["protocol", result.protocol],
         ["config", config.describe()],
@@ -139,7 +140,7 @@ def cmd_smr(args) -> int:
 def cmd_sweep(args) -> int:
     from .harness.registry import get_matrix, list_matrices, run_matrix
 
-    if args.trials < 1:
+    if args.trials is not None and args.trials < 1:
         print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
         return 2
     if args.workers < 0:
@@ -179,6 +180,8 @@ def cmd_sweep(args) -> int:
             json.dumps(
                 {
                     "matrix": report.matrix,
+                    "n": matrix.n,
+                    "f": matrix.resolved_f(),
                     "trials": report.trials,
                     "master_seed": report.master_seed,
                     "workers": args.workers,
@@ -194,13 +197,45 @@ def cmd_sweep(args) -> int:
                 report.headers,
                 report.table_rows(),
                 title=(
-                    f"scenario matrix {report.matrix!r}: {report.trials} "
-                    f"trial(s)/cell, master seed {report.master_seed}, "
+                    f"scenario matrix {report.matrix!r}: "
+                    + (
+                        f"{report.trials} trial(s)/cell"
+                        if report.trials is not None
+                        else "per-cell budget trials"
+                    )
+                    + f", master seed {report.master_seed}, "
                     f"workers={args.workers}"
                 ),
             )
         )
     return 0 if report.all_agreement_ok else 1
+
+
+def cmd_plot(args) -> int:
+    from .harness.plotting import (
+        PlottingUnavailableError,
+        load_report,
+        merge_series,
+        render_plot,
+    )
+
+    try:
+        reports = [load_report(path) for path in args.reports]
+        series = merge_series(reports, args.metric)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot build plot series: {exc}", file=sys.stderr)
+        return 2
+    if not series:
+        print("reports contain no plottable rows", file=sys.stderr)
+        return 2
+    try:
+        path = render_plot(series, args.metric, args.output, title=args.title)
+    except PlottingUnavailableError as exc:
+        print(str(exc), file=sys.stderr)
+        return 3
+    points = sum(len(s.x) for s in series)
+    print(f"wrote {path}: {len(series)} series, {points} points")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,7 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="matrix name (see repro.harness.registry.MATRICES); default smoke",
     )
     p_sweep.add_argument(
-        "--trials", type=int, default=1, help="seeded trials per cell"
+        "--trials",
+        type=int,
+        default=None,
+        help=(
+            "uniform seeded trials per cell; omit to use the matrix's "
+            "per-cell trial budgets (fallback 1)"
+        ),
     )
     p_sweep.add_argument(
         "--workers",
@@ -260,6 +301,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit a JSON report instead of a table"
     )
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_plot = sub.add_parser(
+        "plot",
+        help="render Figure-5 style plots from `repro sweep --json` reports",
+    )
+    p_plot.add_argument(
+        "reports",
+        nargs="+",
+        help=(
+            "one or more JSON reports from `repro sweep --json` (one per "
+            "system size n; each cell becomes one series across the files)"
+        ),
+    )
+    p_plot.add_argument(
+        "--metric",
+        default="agreement_rate",
+        help="row metric to plot (default agreement_rate)",
+    )
+    p_plot.add_argument(
+        "-o",
+        "--output",
+        default="fig5.png",
+        help="output image path; format follows the extension",
+    )
+    p_plot.add_argument("--title", default=None, help="plot title override")
+    p_plot.set_defaults(fn=cmd_plot)
 
     return parser
 

@@ -56,6 +56,7 @@ class ProBFTDeployment:
         trace: bool = False,
         duplicate_prob: float = 0.0,
         track_bytes: bool = False,
+        crypto: Optional[CryptoContext] = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -70,7 +71,9 @@ class ProBFTDeployment:
             duplicate_seed=seed,
             track_bytes=track_bytes,
         )
-        self.crypto = CryptoContext.create(
+        # Same-config trials share one pooled (immutable) context instead of
+        # re-deriving n key pairs; pass ``crypto=`` to override.
+        self.crypto = crypto if crypto is not None else CryptoContext.pooled(
             config.n, master_seed=digest("deployment", seed)
         )
         self.decisions: Dict[ReplicaId, Decision] = {}

@@ -13,12 +13,16 @@ implements *behaviourally faithful* stand-ins (see DESIGN.md, Substitutions):
   with uniqueness, collision resistance and pseudorandomness against
   in-simulation adversaries.
 * :mod:`repro.crypto.hashing` — canonical serialization + digest helpers.
+* :mod:`repro.crypto.context` — one bundle of the above per deployment, and
+  the per-process :meth:`CryptoContext.pooled` cache that amortizes key
+  derivation and verification across trials of the same ``(n, master_seed)``.
 """
 
+from .context import CryptoContext, clear_crypto_pool, crypto_pool_stats
 from .hashing import digest, digest_hex, stable_encode
 from .keys import KeyPair, KeyRegistry
-from .signatures import SignatureScheme, Signed
-from .vrf import VRF, VRFOutput
+from .signatures import MemoizedSignatureScheme, SignatureScheme, Signed
+from .vrf import VRF, MemoizedVRF, VRFOutput
 
 __all__ = [
     "digest",
@@ -27,7 +31,12 @@ __all__ = [
     "KeyPair",
     "KeyRegistry",
     "SignatureScheme",
+    "MemoizedSignatureScheme",
     "Signed",
     "VRF",
+    "MemoizedVRF",
     "VRFOutput",
+    "CryptoContext",
+    "clear_crypto_pool",
+    "crypto_pool_stats",
 ]

@@ -1,12 +1,39 @@
-"""Bundled crypto services for one deployment."""
+"""Bundled crypto services for one deployment, plus the per-process pool.
+
+Two construction paths:
+
+* :meth:`CryptoContext.create` — a fresh, uncached context (plain
+  :class:`SignatureScheme` / :class:`VRF`).  The reference semantics.
+* :meth:`CryptoContext.pooled` — a per-process cache keyed by
+  ``(n, master_seed)``.  Rebuilding the same deployment (same system size,
+  same seed) reuses the key registry instead of re-deriving ``n`` key pairs,
+  and the pooled context's signature/VRF services memoize verification —
+  the simulation's hot path, since every broadcast envelope is verified by
+  up to ``n`` receivers.  All cached computations are pure functions of
+  their inputs, so pooled and fresh contexts are bit-identical by
+  construction (and pinned by tests).
+
+The pool is deliberately per-process: worker processes of a
+:class:`~repro.harness.parallel.ExperimentEngine` each grow their own pool,
+which keeps the bit-identity guarantee trivially (no cross-process state)
+while still amortizing setup across the many trials each worker runs.
+"""
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from .keys import KeyRegistry
-from .signatures import SignatureScheme
-from .vrf import VRF
+from .signatures import MemoizedSignatureScheme, SignatureScheme
+from .vrf import VRF, MemoizedVRF
+
+#: Upper bound on pooled contexts kept alive; least-recently-used entries
+#: are evicted first.  Large sweeps touch many ``(n, seed)`` pairs — the
+#: bound keeps the pool from holding every registry ever built.
+POOL_MAX_ENTRIES = 128
 
 
 @dataclass(frozen=True)
@@ -31,6 +58,78 @@ class CryptoContext:
             vrf=VRF(registry),
         )
 
+    @staticmethod
+    def pooled(n: int, master_seed: bytes = b"repro-probft") -> "CryptoContext":
+        """A context over the process-wide pool entry for ``(n, master_seed)``.
+
+        The pool shares what is safe to share indefinitely: the immutable
+        :class:`KeyRegistry` (skipping the ``n`` key-pair re-derivation) and
+        a :class:`MemoizedVRF` whose cache is *value*-keyed (sampler-key
+        bytes → sample tuple), so same-seed trials reuse each other's
+        shuffle expansions.  The signature scheme, whose memo is keyed by
+        envelope *identity* and therefore pins envelope object graphs
+        alive, is created fresh per call — its big win is within one
+        deployment (each broadcast verified by up to ``n`` receivers), and
+        per-deployment scoping keeps a long streaming sweep from retaining
+        dead envelopes.  Results are bit-identical to :meth:`create`
+        (memoization caches pure functions only), and state never leaks
+        across keys: each ``(n, master_seed)`` pair owns its own registry
+        and caches.
+        """
+        key = (n, master_seed)
+        with _POOL_LOCK:
+            entry = _POOL.get(key)
+            if entry is not None:
+                _POOL.move_to_end(key)
+                _POOL_STATS["hits"] += 1
+        if entry is None:
+            # Build outside the lock: registry derivation is the expensive
+            # part.  A racing builder may have published meanwhile; keep the
+            # first entry so concurrent callers share one VRF cache.
+            registry = KeyRegistry(n, master_seed)
+            built = (registry, MemoizedVRF(registry))
+            with _POOL_LOCK:
+                entry = _POOL.get(key)
+                if entry is None:
+                    _POOL_STATS["misses"] += 1
+                    _POOL[key] = entry = built
+                    while len(_POOL) > POOL_MAX_ENTRIES:
+                        _POOL.popitem(last=False)
+                else:
+                    _POOL_STATS["hits"] += 1
+        registry, vrf = entry
+        return CryptoContext(
+            registry=registry,
+            signatures=MemoizedSignatureScheme(registry),
+            vrf=vrf,
+        )
+
     @property
     def n(self) -> int:
         return self.registry.n
+
+
+#: Pool entries: (registry, shared value-keyed VRF) per (n, master_seed).
+_POOL: "OrderedDict[Tuple[int, bytes], Tuple[KeyRegistry, MemoizedVRF]]" = (
+    OrderedDict()
+)
+_POOL_LOCK = threading.Lock()
+_POOL_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def clear_crypto_pool() -> None:
+    """Drop every pooled context and reset the hit/miss counters."""
+    with _POOL_LOCK:
+        _POOL.clear()
+        _POOL_STATS["hits"] = 0
+        _POOL_STATS["misses"] = 0
+
+
+def crypto_pool_stats() -> Dict[str, int]:
+    """Pool telemetry: ``{"hits", "misses", "size"}`` for this process."""
+    with _POOL_LOCK:
+        return {
+            "hits": _POOL_STATS["hits"],
+            "misses": _POOL_STATS["misses"],
+            "size": len(_POOL),
+        }

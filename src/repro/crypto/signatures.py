@@ -13,6 +13,7 @@ protocol relies on.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Generic, TypeVar
 
@@ -80,3 +81,46 @@ class SignatureScheme:
                 f"over payload {signed.payload!r}"
             )
         return signed
+
+
+class MemoizedSignatureScheme(SignatureScheme):
+    """A :class:`SignatureScheme` that memoizes :meth:`verify` per envelope.
+
+    Broadcast and multicast share one :class:`Signed` *object* across all
+    receivers (see ``Network._size_cache``), so in an ``n``-replica
+    deployment the same envelope is verified up to ``n`` times — and
+    recomputing ``digest(sk ‖ signer ‖ payload)`` (i.e. canonical encoding +
+    SHA-256) dominates the simulation's hot path.  The cache is keyed by
+    *object identity* with the envelope pinned alive, never by ``(signer,
+    signature)`` alone: a forged envelope pairing a copied signature with a
+    different payload is a distinct object and still verifies from scratch,
+    so adversarial behaviour (flooding forgeries) is bit-identical to the
+    uncached scheme.
+
+    Bounded FIFO eviction keeps a long-lived (pooled) scheme from pinning
+    every envelope ever verified.
+    """
+
+    def __init__(self, registry: KeyRegistry, max_entries: int = 8192) -> None:
+        super().__init__(registry)
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        # id(signed) -> (signed, verdict); the strong reference keeps the
+        # id stable for as long as the entry lives.
+        self._cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def verify(self, signed: Signed) -> bool:
+        key = id(signed)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] is signed:
+            self.hits += 1
+            return entry[1]
+        verdict = super().verify(signed)
+        self.misses += 1
+        self._cache[key] = (signed, verdict)
+        if len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return verdict

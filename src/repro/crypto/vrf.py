@@ -23,6 +23,7 @@ shuffle.  The paper's three guarantees hold against in-simulation adversaries:
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, List, Tuple
 
@@ -106,6 +107,10 @@ class VRF:
     def _sampler_key(self, private_key: bytes, seed: str, s: int) -> bytes:
         return digest(_DOMAIN, private_key, seed, s)
 
+    def _sample(self, key: bytes, s: int) -> Tuple[ReplicaId, ...]:
+        """The shuffle induced by one sampler key (memoization hook)."""
+        return _sample_from_key(key, self.n, s)
+
     def prove_with(
         self, private_key: bytes, replica: ReplicaId, seed: str, s: int
     ) -> VRFOutput:
@@ -113,7 +118,7 @@ class VRF:
         if not 1 <= s <= self.n:
             raise VRFError(f"sample size must be in [1, n={self.n}], got {s}")
         key = self._sampler_key(private_key, seed, s)
-        sample = _sample_from_key(key, self.n, s)
+        sample = self._sample(key, s)
         return VRFOutput(sample=sample, proof=key)
 
     def prove(self, replica: ReplicaId, seed: str, s: int) -> VRFOutput:
@@ -138,7 +143,7 @@ class VRF:
         expected_key = self._sampler_key(private_key, seed, s)
         if expected_key != output.proof:
             return False
-        return _sample_from_key(expected_key, self.n, s) == tuple(output.sample)
+        return self._sample(expected_key, s) == tuple(output.sample)
 
     def require_valid(
         self, replica: ReplicaId, seed: str, s: int, output: VRFOutput
@@ -149,6 +154,43 @@ class VRF:
                 f"invalid VRF output from replica {replica} for seed {seed!r}"
             )
         return output
+
+
+class MemoizedVRF(VRF):
+    """A :class:`VRF` that memoizes the sampler-key → sample shuffle.
+
+    ``_sample_from_key`` is a pure function of ``(key, n, s)``, and every
+    receiver verifying the same vote replays the same shuffle — so within one
+    deployment each distinct sampler key is expanded up to ``n`` times, and
+    across pooled trials of the same ``(n, master_seed)`` the honest provers'
+    keys recur exactly.  The cache is keyed by the full ``(key, s)`` input
+    (``n`` is fixed per VRF), so memoized and fresh VRFs are bit-identical
+    by construction.
+    """
+
+    def __init__(self, registry: KeyRegistry, max_entries: int = 8192) -> None:
+        super().__init__(registry)
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._cache: "OrderedDict[Tuple[bytes, int], Tuple[ReplicaId, ...]]" = (
+            OrderedDict()
+        )
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def _sample(self, key: bytes, s: int) -> Tuple[ReplicaId, ...]:
+        cache_key = (key, s)
+        sample = self._cache.get(cache_key)
+        if sample is not None:
+            self.hits += 1
+            return sample
+        sample = _sample_from_key(key, self.n, s)
+        self.misses += 1
+        self._cache[cache_key] = sample
+        if len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return sample
 
 
 def phase_seed(view: int, phase_tag: str, domain: str = "") -> str:

@@ -1,18 +1,51 @@
 """Experiment harness: run protocols, collect metrics, canned scenarios.
 
-* :mod:`repro.harness.runner` — one-call protocol runs returning a uniform
-  :class:`RunResult` (decisions, message counts, steps, views).
-* :mod:`repro.harness.metrics` — statistics helpers (Wilson intervals,
-  summaries) for Monte-Carlo experiments.
+* :mod:`repro.harness.trial` — the **unified trial lifecycle**:
+  :class:`DeploymentSpec` (one trial as declarative data) →
+  :class:`TrialContext` (build + drive) → :func:`run_trial` (the single
+  protocol-dispatched runner every surface goes through).
+* :mod:`repro.harness.runner` — keyword-compatible conveniences
+  (``run_probft``/``run_pbft``/``run_hotstuff``, ``good_case_metrics``)
+  layered on :func:`run_trial`.
+* :mod:`repro.harness.metrics` — statistics helpers: batch (Wilson
+  intervals, summaries) and streaming (:class:`Welford`,
+  :class:`StreamingProportion`) accumulators.
 * :mod:`repro.harness.scenarios` — named scenario builders used by tests,
   examples, and benchmarks.
 * :mod:`repro.harness.parallel` — the parallel Monte-Carlo experiment
-  engine (:class:`ExperimentEngine`).
+  engine (:class:`ExperimentEngine`), including the streaming
+  ``stream``/``run_stream`` path.
 * :mod:`repro.harness.registry` — the scenario registry (string-addressable
   builders) and :class:`ScenarioMatrix` (protocols × adversaries × latency
-  cross products).
+  cross products, with per-cell trial budgets).
 * :mod:`repro.harness.sweep` — grid sweeps over parameter axes, optionally
   parallel.
+* :mod:`repro.harness.plotting` — Figure-5 plot series from ``repro sweep
+  --json`` reports (rendering gated on matplotlib).
+
+The trial lifecycle
+===================
+
+Every protocol-level experiment is one pipeline::
+
+    DeploymentSpec ──build──▶ deployment ──run──▶ RunResult
+         │                        │
+         │                 pooled CryptoContext
+         │              (per-process, keyed by (n, master_seed))
+         └── protocol dispatch via the trial registry
+
+:class:`~repro.harness.trial.DeploymentSpec` declares *what* to run
+(protocol, config, seed, network model, adversary map, budgets);
+:func:`~repro.harness.trial.run_trial` executes it.  Deployments draw
+their crypto from :meth:`CryptoContext.pooled
+<repro.crypto.context.CryptoContext.pooled>`: trials of the same
+``(n, master_seed)`` share one immutable key registry, and pooled
+signature/VRF services memoize verification (pure functions only), which
+makes protocol trials several times faster while staying **bit-identical**
+to fresh per-trial crypto — ``tests/test_trial_lifecycle.py`` pins that
+equivalence.  New protocols register once
+(:func:`~repro.harness.trial.register_protocol`) and inherit every
+experiment surface: runners, matrix, sweeps, CLI.
 
 Running sweeps
 ==============
@@ -33,7 +66,23 @@ their trials through :class:`~repro.harness.parallel.ExperimentEngine`::
 From the command line, ``python -m repro sweep [matrix] --trials T
 --workers K`` runs a named scenario matrix (see
 :data:`repro.harness.registry.MATRICES`) and prints a per-cell table, or
-JSON with ``--json``.
+JSON with ``--json``; omitting ``--trials`` applies the matrix's per-cell
+trial budgets.  ``python -m repro plot report.json ... -o fig5.png``
+renders Figure-5 style curves from those JSON reports.
+
+Streaming aggregation
+---------------------
+
+Large sweeps never materialize their trial rows: ``run_matrix`` consumes
+:meth:`ExperimentEngine.stream
+<repro.harness.parallel.ExperimentEngine.stream>` and folds every result
+into a per-cell :class:`~repro.harness.registry.CellAccumulator`
+(:class:`~repro.harness.metrics.Welford` running means/CIs +
+:class:`~repro.harness.metrics.StreamingProportion` Wilson intervals), so
+a 10⁵-trial cell costs a handful of floats.  The running mean is the same
+left-fold ``sum/len`` computes, so streamed and materialized estimates are
+identical — ``tests/test_streaming.py`` pins that equality on golden
+seeds.
 
 Determinism guarantees
 ----------------------
@@ -41,8 +90,9 @@ Determinism guarantees
 * Trial ``i`` of a run with master seed ``m`` always draws from a generator
   seeded with ``derive_seed(m, i)`` — a pure counter-based splitter with no
   global RNG state — so a trial's randomness is independent of scheduling.
-* Results are collected in submission order regardless of completion order,
-  so even order-sensitive float aggregation is reproducible.
+* Results are collected (and streamed) in submission order regardless of
+  completion order, so even order-sensitive float aggregation is
+  reproducible.
 * Consequently **serial (``workers=0``) and parallel (``workers=k``) runs
   of the same experiment are bit-identical**, and ``workers`` may be chosen
   purely for speed.  ``tests/test_seed_stability.py`` pins golden per-seed
@@ -61,8 +111,29 @@ functions or partials of them); a failing trial raises
 and worker traceback.
 """
 
-from .runner import RunResult, run_probft, run_pbft, run_hotstuff, good_case_metrics
-from .metrics import mean, stddev, wilson_interval, ProportionEstimate
+from .trial import (
+    DeploymentSpec,
+    TrialContext,
+    list_protocols,
+    register_protocol,
+    run_trial,
+)
+from .runner import (
+    RunResult,
+    run_protocol,
+    run_probft,
+    run_pbft,
+    run_hotstuff,
+    good_case_metrics,
+)
+from .metrics import (
+    mean,
+    stddev,
+    wilson_interval,
+    ProportionEstimate,
+    StreamingProportion,
+    Welford,
+)
 from .parallel import (
     ExperimentEngine,
     TrialError,
@@ -73,6 +144,7 @@ from .parallel import (
 )
 from .registry import (
     MATRICES,
+    CellAccumulator,
     MatrixReport,
     ScenarioMatrix,
     build_scenario,
@@ -93,7 +165,13 @@ from .scenarios import (
 )
 
 __all__ = [
+    "DeploymentSpec",
+    "TrialContext",
+    "run_trial",
+    "register_protocol",
+    "list_protocols",
     "RunResult",
+    "run_protocol",
     "run_probft",
     "run_pbft",
     "run_hotstuff",
@@ -102,6 +180,8 @@ __all__ = [
     "stddev",
     "wilson_interval",
     "ProportionEstimate",
+    "StreamingProportion",
+    "Welford",
     "ExperimentEngine",
     "TrialError",
     "TrialSpec",
@@ -109,6 +189,7 @@ __all__ = [
     "spawn_seeds",
     "workers_from_env",
     "MATRICES",
+    "CellAccumulator",
     "MatrixReport",
     "ScenarioMatrix",
     "build_scenario",

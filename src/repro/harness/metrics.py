@@ -1,4 +1,20 @@
-"""Statistics helpers for empirical experiments."""
+"""Statistics helpers for empirical experiments.
+
+Two families:
+
+* batch helpers (:func:`mean`, :func:`stddev`, :func:`wilson_interval`)
+  operating on materialized sequences;
+* **streaming accumulators** (:class:`Welford`,
+  :class:`StreamingProportion`) that ingest one observation at a time in
+  O(1) memory — the backbone of constant-memory sweeps, where a 10⁵-trial
+  matrix cell must aggregate without materializing 10⁵ rows.
+
+:class:`Welford` keeps the running mean as ``sum/count`` (the exact same
+left-fold float path as ``mean(list)``), so a streamed mean over trials in
+submission order is **bit-identical** to the materialized computation; the
+Welford-style ``M2`` recurrence adds variance/CI on top without a second
+pass.
+"""
 
 from __future__ import annotations
 
@@ -43,6 +59,109 @@ def wilson_interval(
         / denom
     )
     return max(0.0, center - margin), min(1.0, center + margin)
+
+
+class Welford:
+    """Streaming mean/variance accumulator (Welford 1962), O(1) memory.
+
+    ``add`` ingests one observation; ``mean`` is maintained as a running
+    ``sum / count`` so that streaming values in submission order reproduces
+    ``mean(values)`` bit-for-bit (both are the same left-fold summation).
+    The ``M2`` recurrence gives the sample variance in the same single pass,
+    numerically stable even when the mean dwarfs the spread.
+
+    NaN observations are counted but poison the aggregate (as with the batch
+    helpers) — callers that want NaN-tolerance filter before adding.
+    """
+
+    __slots__ = ("count", "total", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        old_mean = self.total / self.count if self.count else 0.0
+        self.count += 1
+        self.total += value
+        delta = value - old_mean
+        self._m2 += delta * (value - self.mean)
+
+    def extend(self, values) -> "Welford":
+        for value in values:
+            self.add(value)
+        return self
+
+    @property
+    def mean(self) -> float:
+        """Running mean; NaN for an empty accumulator (matches :func:`mean`)."""
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 for fewer than two values, like :func:`stddev`)."""
+        if self.count < 2:
+            return 0.0
+        return max(0.0, self._m2 / (self.count - 1))
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean (0 for fewer than two values)."""
+        if self.count < 2:
+            return 0.0
+        return self.stddev / math.sqrt(self.count)
+
+    def ci(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        if not self.count:
+            return float("nan"), float("nan")
+        margin = z * self.stderr
+        return self.mean - margin, self.mean + margin
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Welford(count={self.count}, mean={self.mean!r})"
+
+
+class StreamingProportion:
+    """Streaming binomial counter with a Wilson 95% interval.
+
+    The incremental sibling of :class:`ProportionEstimate`: feed it one
+    boolean outcome at a time (O(1) memory) and read the same point
+    estimate/interval the batch class would compute from the full list.
+    """
+
+    __slots__ = ("successes", "trials")
+
+    def __init__(self) -> None:
+        self.successes = 0
+        self.trials = 0
+
+    def add(self, success: bool) -> None:
+        self.trials += 1
+        if success:
+            self.successes += 1
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.trials if self.trials else float("nan")
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    def as_estimate(self) -> "ProportionEstimate":
+        """Freeze into the batch-side :class:`ProportionEstimate`."""
+        return ProportionEstimate(self.successes, self.trials)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingProportion({self.successes}/{self.trials})"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,218 @@
+"""Figure-5 style plots from ``repro sweep --json`` reports.
+
+Split in two so the interesting logic needs no plotting backend:
+
+* **pure series extraction** — :func:`load_report`, :func:`report_series`,
+  :func:`merge_series` turn one or more sweep reports (each a JSON dict
+  with per-cell aggregate rows) into ``PlotSeries`` objects: one labelled
+  ``(x, y, y_err)`` polyline per (protocol, adversary, latency) cell,
+  indexed by system size ``n``.  Fully unit-testable without matplotlib.
+* **gated rendering** — :func:`render_plot` imports matplotlib lazily and
+  raises :class:`PlottingUnavailableError` with an actionable message when
+  it is missing (the container's toolchain does not bake it in).
+
+The intended pipeline mirrors the paper's Figure 5 (probability metrics vs
+system size)::
+
+    python -m repro sweep probft-adversaries --json --n 20  > n20.json
+    python -m repro sweep probft-adversaries --json --n 40  > n40.json
+    python -m repro plot n20.json n40.json --metric agreement_rate -o fig5.png
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "PlotSeries",
+    "PlottingUnavailableError",
+    "load_report",
+    "report_series",
+    "merge_series",
+    "render_plot",
+    "matplotlib_available",
+    "METRICS_WITH_INTERVALS",
+]
+
+
+class PlottingUnavailableError(RuntimeError):
+    """Raised when rendering is requested but matplotlib is not installed."""
+
+
+#: Metrics whose reports carry interval/stderr companions usable as error
+#: bars: metric -> (low key, high key) or (stderr key, None).
+METRICS_WITH_INTERVALS: Dict[str, Tuple[str, Optional[str]]] = {
+    "agreement_rate": ("agreement_ci_low", "agreement_ci_high"),
+    "decide_rate": ("decide_stderr", None),
+}
+
+
+@dataclass
+class PlotSeries:
+    """One labelled polyline: metric values (and error bars) indexed by n."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    #: Symmetric or (low, high) error companions; empty when unavailable.
+    y_err: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float, err: Optional[Tuple[float, float]]) -> None:
+        self.x.append(x)
+        self.y.append(y)
+        if err is not None:
+            self.y_err.append(err)
+
+    @property
+    def has_error_bars(self) -> bool:
+        return len(self.y_err) == len(self.y) and bool(self.y_err)
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read one ``repro sweep --json`` report; validate its shape."""
+    with open(path) as fh:
+        report = json.load(fh)
+    if not isinstance(report, dict) or "rows" not in report:
+        raise ValueError(
+            f"{path}: not a sweep report (expected a JSON object with 'rows';"
+            " produce one with `python -m repro sweep --json`)"
+        )
+    return report
+
+
+def _row_error(
+    row: Mapping[str, Any], metric: str
+) -> Optional[Tuple[float, float]]:
+    """(below, above) error-bar extents for one row, if derivable."""
+    companions = METRICS_WITH_INTERVALS.get(metric)
+    if companions is None:
+        return None
+    low_key, high_key = companions
+    value = row.get(metric)
+    if value is None:
+        return None
+    if high_key is None:  # symmetric stderr companion
+        stderr = row.get(low_key)
+        if stderr is None:
+            return None
+        return (float(stderr), float(stderr))
+    low, high = row.get(low_key), row.get(high_key)
+    if low is None or high is None:
+        return None
+    return (float(value) - float(low), float(high) - float(value))
+
+
+def report_series(
+    report: Mapping[str, Any], metric: str, n: Optional[float] = None
+) -> Dict[str, PlotSeries]:
+    """One point per cell of one report, keyed by the cell's label.
+
+    ``n`` is the x coordinate for every point (reports don't embed the
+    system size in each row; the sweep CLI records it at the top level as
+    ``n`` when present, else pass it explicitly).
+    """
+    x = n if n is not None else report.get("n")
+    if x is None:
+        raise ValueError(
+            "report carries no system size 'n'; re-generate it with a "
+            "current `repro sweep --json` or pass n explicitly"
+        )
+    series: Dict[str, PlotSeries] = {}
+    for row in report["rows"]:
+        if metric not in row:
+            raise KeyError(
+                f"metric {metric!r} not in report rows; available: "
+                f"{', '.join(sorted(row))}"
+            )
+        value = row[metric]
+        if value is None:  # JSON null — e.g. decision time when undecided
+            continue
+        label = f"{row['protocol']}/{row['adversary']}/{row['latency']}"
+        entry = series.setdefault(label, PlotSeries(label=label))
+        entry.add(float(x), float(value), _row_error(row, metric))
+    return series
+
+
+def merge_series(
+    reports: Sequence[Mapping[str, Any]], metric: str
+) -> List[PlotSeries]:
+    """Merge per-report points into per-cell series ordered by n.
+
+    Feeding reports for n=20, 40, 80 yields, per cell label, one series
+    with three points — the Figure-5 "metric vs system size" shape.
+    """
+    merged: Dict[str, PlotSeries] = {}
+    for report in reports:
+        for label, series in report_series(report, metric).items():
+            target = merged.setdefault(label, PlotSeries(label=label))
+            for i, x in enumerate(series.x):
+                err = series.y_err[i] if series.has_error_bars else None
+                target.add(x, series.y[i], err)
+    out = []
+    for label in sorted(merged):
+        series = merged[label]
+        order = sorted(range(len(series.x)), key=lambda i: series.x[i])
+        reordered = PlotSeries(label=label)
+        for i in order:
+            err = series.y_err[i] if series.has_error_bars else None
+            reordered.add(series.x[i], series.y[i], err)
+        out.append(reordered)
+    return out
+
+
+def matplotlib_available() -> bool:
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def render_plot(
+    series: Sequence[PlotSeries],
+    metric: str,
+    output: str,
+    title: Optional[str] = None,
+) -> str:
+    """Render the merged series to ``output`` (format from its extension).
+
+    Raises :class:`PlottingUnavailableError` when matplotlib is missing —
+    the toolchain treats plotting as an optional extra, so callers must
+    surface the message rather than crash with an ImportError.
+    """
+    try:
+        import matplotlib
+    except ImportError as exc:
+        raise PlottingUnavailableError(
+            "matplotlib is not installed; install it (pip install matplotlib) "
+            "to render plots — series extraction itself needs no backend"
+        ) from exc
+    matplotlib.use("Agg")  # headless: never require a display
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7.0, 4.5))
+    for entry in series:
+        if entry.has_error_bars:
+            below = [err[0] for err in entry.y_err]
+            above = [err[1] for err in entry.y_err]
+            ax.errorbar(
+                entry.x,
+                entry.y,
+                yerr=(below, above),
+                marker="o",
+                capsize=3,
+                label=entry.label,
+            )
+        else:
+            ax.plot(entry.x, entry.y, marker="o", label=entry.label)
+    ax.set_xlabel("system size n")
+    ax.set_ylabel(metric)
+    ax.set_title(title or f"Figure 5: {metric} vs n")
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(output)
+    plt.close(fig)
+    return output

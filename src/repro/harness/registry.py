@@ -8,37 +8,41 @@ Two layers on top of :mod:`repro.harness.scenarios`:
   `list_scenarios`);
 * a **scenario matrix** — :class:`ScenarioMatrix` crosses protocols ×
   adversaries × latency models into enumerable :class:`MatrixCell` specs,
-  and :func:`run_matrix` fans ``trials`` seeded runs of every cell through
-  an :class:`~repro.harness.parallel.ExperimentEngine`, aggregating
-  per-cell decision/agreement statistics.
+  and :func:`run_matrix` streams ``trials`` seeded runs of every cell
+  through :meth:`ExperimentEngine.stream
+  <repro.harness.parallel.ExperimentEngine.stream>`, folding each trial
+  into constant-memory per-cell accumulators (:class:`CellAccumulator`) —
+  decision/agreement rates with confidence intervals, never a materialized
+  row list.
 
-Adversary support is protocol-aware: silence and crashes apply to every
-protocol (the crash wrapper embeds the protocol's own honest replica), while
-equivocation and flooding craft ProBFT messages and are therefore marked
-unsupported for the deterministic baselines — ``cells()`` skips those
-combinations unless asked not to.
+Every cell realizes its trial as a
+:class:`~repro.harness.trial.DeploymentSpec` executed by the one
+protocol-dispatched :func:`~repro.harness.trial.run_trial` lifecycle.
+
+Adversary support is protocol-aware: silence, crashes, and the targeted
+scheduler apply to every protocol (the crash wrapper embeds the protocol's
+own honest replica; the scheduler attacks the network, not the replicas),
+while equivocation and flooding craft ProBFT messages and are therefore
+marked unsupported for the deterministic baselines — ``cells()`` skips
+those combinations unless asked not to.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..adversary.behaviors import CrashReplica, silent_factory
-from ..adversary.equivocation import (
-    double_voter_factory,
-    equivocating_leader_factory,
-    optimal_split,
-)
+from ..adversary.plans import equivocation_byzantine_map
 from ..adversary.flooding import flooding_factory
 from ..config import ProtocolConfig
-from ..net.faults import PreGstChaos
-from ..net.latency import ConstantLatency, UniformLatency
+from ..net.faults import ComposedChaos, PreGstChaos, ReceiverTargetedChaos
+from ..net.latency import ConstantLatency, ExponentialLatency, UniformLatency
 from ..sync.timeouts import FixedTimeout
 from . import scenarios as _scenarios
-from .metrics import mean
+from .metrics import StreamingProportion, Welford
 from .parallel import ExperimentEngine, TrialSpec, derive_seed, resolve_engine
-from .runner import RunResult, run_hotstuff, run_pbft, run_probft
+from .trial import DeploymentSpec, RunResult, run_trial
 
 __all__ = [
     "ScenarioSpec",
@@ -47,6 +51,7 @@ __all__ = [
     "build_scenario",
     "list_scenarios",
     "MatrixCell",
+    "CellAccumulator",
     "ScenarioMatrix",
     "MatrixReport",
     "run_matrix",
@@ -159,14 +164,21 @@ ADVERSARIES: Tuple[str, ...] = (
     "crash",
     "equivocation",
     "flooding",
+    "targeted-scheduler",
 )
-LATENCIES: Tuple[str, ...] = ("constant", "uniform", "pre-gst-chaos")
-
-_RUNNERS = {"probft": run_probft, "pbft": run_pbft, "hotstuff": run_hotstuff}
+LATENCIES: Tuple[str, ...] = (
+    "constant",
+    "uniform",
+    "exponential",
+    "pre-gst-chaos",
+)
 
 #: Adversaries that forge protocol-specific (ProBFT) messages; the
 #: deterministic baselines have no equivalent implementation yet.
 _PROBFT_ONLY_ADVERSARIES = frozenset({"equivocation", "flooding"})
+
+#: GST used by cells whose adversary/latency needs an asynchronous prefix.
+_CELL_GST = 30.0
 
 
 @dataclass(frozen=True)
@@ -237,7 +249,8 @@ def _crash_factory_for(protocol: str, crash_time: float):
 
 def _byzantine_for(cell: MatrixCell, config: ProtocolConfig) -> Dict[int, Any]:
     """The ``byzantine=`` deployment map realizing the cell's adversary."""
-    if cell.adversary == "none":
+    if cell.adversary in ("none", "targeted-scheduler"):
+        # The targeted scheduler corrupts the network, not any replica.
         return {}
     if cell.adversary == "silent":
         # Silent view-1 leader: the weakest attack that still forces the
@@ -251,33 +264,65 @@ def _byzantine_for(cell: MatrixCell, config: ProtocolConfig) -> Dict[int, Any]:
     if cell.adversary == "flooding":
         return {config.n - 1: flooding_factory()}
     if cell.adversary == "equivocation":
-        # Mirrors adversary.plans.equivocation_attack_deployment, but as a
-        # byzantine map so it composes with any latency/GST settings.
-        leader = 0
-        colluders = list(range(config.n - (config.f - 1), config.n))
-        plan = optimal_split(config.n, [leader] + colluders, b"attack-A", b"attack-B")
-        byzantine: Dict[int, Any] = {
-            leader: equivocating_leader_factory(plan, attack_view=1)
-        }
-        for replica in colluders:
-            byzantine[replica] = double_voter_factory(plan, leader, attack_view=1)
+        byzantine, _plan = equivocation_byzantine_map(config)
         return byzantine
     raise KeyError(f"unknown adversary {cell.adversary!r}")
 
 
-def _network_for(cell: MatrixCell, seed: int) -> Dict[str, Any]:
-    """Latency-model kwargs (latency, gst, chaos) for the cell."""
+def _network_for(cell: MatrixCell, config: ProtocolConfig, seed: int) -> Dict[str, Any]:
+    """Latency/GST/chaos kwargs realizing the cell's network conditions.
+
+    The latency axis picks the delay distribution; a ``targeted-scheduler``
+    adversary additionally starves the last ``f`` replicas of all messages
+    until GST (the strongest receiver-discriminating schedule the paper's
+    §2.1 model admits — sender-agnostic, destination-targeted).
+    """
     if cell.latency == "constant":
-        return {"latency": ConstantLatency(1.0)}
-    if cell.latency == "uniform":
-        return {"latency": UniformLatency(0.5, 1.5, seed=seed)}
-    if cell.latency == "pre-gst-chaos":
-        return {
+        out: Dict[str, Any] = {"latency": ConstantLatency(1.0)}
+    elif cell.latency == "uniform":
+        out = {"latency": UniformLatency(0.5, 1.5, seed=seed)}
+    elif cell.latency == "exponential":
+        out = {"latency": ExponentialLatency(mean=1.0, cap=5.0, seed=seed)}
+    elif cell.latency == "pre-gst-chaos":
+        out = {
             "latency": UniformLatency(0.5, 1.5, seed=seed),
-            "gst": 30.0,
+            "gst": _CELL_GST,
             "chaos": PreGstChaos(max_extra=20.0, seed=seed),
         }
-    raise KeyError(f"unknown latency model {cell.latency!r}")
+    else:
+        raise KeyError(f"unknown latency model {cell.latency!r}")
+
+    if cell.adversary == "targeted-scheduler":
+        victims = range(config.n - max(config.f, 1), config.n)
+        targeted = ReceiverTargetedChaos(victims=victims)
+        out["gst"] = _CELL_GST
+        out["chaos"] = (
+            ComposedChaos([out["chaos"], targeted])
+            if out.get("chaos") is not None
+            else targeted
+        )
+    return out
+
+
+def cell_deployment_spec(
+    cell: MatrixCell, seed: int, max_time: float
+) -> DeploymentSpec:
+    """The :class:`DeploymentSpec` realizing one seeded run of ``cell``."""
+    if not cell.supported:
+        raise ValueError(
+            f"cell {cell.label} is unsupported: adversary {cell.adversary!r} "
+            f"forges ProBFT messages and cannot target {cell.protocol!r}"
+        )
+    config = ProtocolConfig(n=cell.n, f=cell.f)
+    return DeploymentSpec(
+        protocol=cell.protocol,
+        config=config,
+        seed=seed,
+        timeout_policy=FixedTimeout(30.0),
+        byzantine=_byzantine_for(cell, config),
+        max_time=max_time,
+        **_network_for(cell, config, seed),
+    )
 
 
 def run_matrix_cell(spec: TrialSpec) -> Dict[str, Any]:
@@ -286,19 +331,8 @@ def run_matrix_cell(spec: TrialSpec) -> Dict[str, Any]:
     ``spec.params`` is ``(cell, max_time)``; returns a flat result row.
     """
     cell, max_time = spec.params
-    if not cell.supported:
-        raise ValueError(
-            f"cell {cell.label} is unsupported: adversary {cell.adversary!r} "
-            f"forges ProBFT messages and cannot target {cell.protocol!r}"
-        )
-    config = ProtocolConfig(n=cell.n, f=cell.f)
-    result: RunResult = _RUNNERS[cell.protocol](
-        config,
-        seed=spec.seed,
-        timeout_policy=FixedTimeout(30.0),
-        byzantine=_byzantine_for(cell, config),
-        max_time=max_time,
-        **_network_for(cell, spec.seed),
+    result: RunResult = run_trial(
+        cell_deployment_spec(cell, seed=spec.seed, max_time=max_time)
     )
     return {
         "protocol": cell.protocol,
@@ -317,7 +351,15 @@ def run_matrix_cell(spec: TrialSpec) -> Dict[str, Any]:
 
 @dataclass(frozen=True)
 class ScenarioMatrix:
-    """A named cross product of protocols × adversaries × latency models."""
+    """A named cross product of protocols × adversaries × latency models.
+
+    ``budgets`` carries per-cell trial budgets: a tuple of ``(key, trials)``
+    pairs where ``key`` is a full cell label (``"probft/silent/constant"``)
+    or an adversary name; the most specific match wins, then ``budget``,
+    then the runner's fallback.  Budgets apply when :func:`run_matrix` is
+    called without an explicit ``trials`` override — big matrices spend
+    their trials where the variance is (adversarial cells), not uniformly.
+    """
 
     name: str
     protocols: Tuple[str, ...] = PROTOCOLS
@@ -326,6 +368,8 @@ class ScenarioMatrix:
     n: int = 20
     f: Optional[int] = None
     description: str = ""
+    budget: Optional[int] = None
+    budgets: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         for axis, known in (
@@ -339,6 +383,13 @@ class ScenarioMatrix:
                     f"unknown matrix axis values {sorted(unknown)}; "
                     f"known: {known}"
                 )
+        for key, trials in self.budgets:
+            if trials < 1:
+                raise ValueError(
+                    f"budget for {key!r} must be >= 1, got {trials}"
+                )
+        if self.budget is not None and self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
 
     def resolved_f(self) -> int:
         return self.f if self.f is not None else ProtocolConfig(n=self.n).f
@@ -360,6 +411,19 @@ class ScenarioMatrix:
             out = [c for c in out if c.supported]
         return out
 
+    def cell_trials(self, cell: MatrixCell, fallback: int = 1) -> int:
+        """The trial budget for one cell: label match > adversary > default."""
+        budgets = dict(self.budgets)
+        if cell.label in budgets:
+            return budgets[cell.label]
+        if cell.adversary in budgets:
+            return budgets[cell.adversary]
+        return self.budget if self.budget is not None else fallback
+
+    def total_trials(self, fallback: int = 1) -> int:
+        """Total trials across supported cells under the matrix budgets."""
+        return sum(self.cell_trials(c, fallback) for c in self.cells())
+
     def with_size(self, n: int, f: Optional[int] = None) -> "ScenarioMatrix":
         """The same matrix at a different system size.
 
@@ -377,15 +441,72 @@ class ScenarioMatrix:
             n=n,
             f=f,
             description=self.description,
+            budget=self.budget,
+            budgets=self.budgets,
         )
+
+
+class CellAccumulator:
+    """Constant-memory aggregation of one cell's trial rows.
+
+    Folds each trial's flat result row into streaming accumulators —
+    :class:`~repro.harness.metrics.Welford` for the means (bit-identical to
+    the materialized ``sum/len`` path, see metrics), and
+    :class:`~repro.harness.metrics.StreamingProportion` for the
+    agreement-rate Wilson interval.  A 10⁵-trial cell costs a handful of
+    floats, not 10⁵ dicts.
+    """
+
+    def __init__(self, cell: MatrixCell) -> None:
+        self.cell = cell
+        self.trials = 0
+        self._decide = Welford()
+        self._agreement = Welford()
+        self._agreement_prop = StreamingProportion()
+        self._max_view = Welford()
+        self._decision_time = Welford()
+        self._messages = Welford()
+
+    def add(self, row: Dict[str, Any]) -> None:
+        self.trials += 1
+        self._decide.add(row["decided"] / row["n_correct"])
+        agreement_ok = bool(row["agreement_ok"])
+        self._agreement.add(1.0 if agreement_ok else 0.0)
+        self._agreement_prop.add(agreement_ok)
+        self._max_view.add(float(row["max_view"]))
+        self._decision_time.add(row["last_decision_time"])
+        self._messages.add(float(row["total_messages"]))
+
+    def summary(self) -> Dict[str, Any]:
+        """The per-cell report row (means, rates, and intervals)."""
+        agreement_low, agreement_high = self._agreement_prop.interval
+        return {
+            "protocol": self.cell.protocol,
+            "adversary": self.cell.adversary,
+            "latency": self.cell.latency,
+            "trials": self.trials,
+            "decide_rate": round(self._decide.mean, 4),
+            "decide_stderr": round(self._decide.stderr, 4),
+            "agreement_rate": self._agreement.mean,
+            "agreement_ci_low": round(agreement_low, 4),
+            "agreement_ci_high": round(agreement_high, 4),
+            "mean_max_view": self._max_view.mean,
+            "mean_decision_time": round(self._decision_time.mean, 3),
+            "mean_messages": round(self._messages.mean, 1),
+        }
 
 
 @dataclass
 class MatrixReport:
-    """Per-cell aggregates over ``trials`` seeded runs."""
+    """Per-cell aggregates over the matrix's seeded runs.
+
+    ``trials`` is the uniform per-cell override the caller requested, or
+    ``None`` when per-cell matrix budgets applied (each row's ``trials``
+    column carries its own count either way).
+    """
 
     matrix: str
-    trials: int
+    trials: Optional[int]
     master_seed: int
     rows: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -397,7 +518,10 @@ class MatrixReport:
             "latency",
             "trials",
             "decide_rate",
+            "decide_stderr",
             "agreement_rate",
+            "agreement_ci_low",
+            "agreement_ci_high",
             "mean_max_view",
             "mean_decision_time",
             "mean_messages",
@@ -413,55 +537,51 @@ class MatrixReport:
 
 def run_matrix(
     matrix: ScenarioMatrix,
-    trials: int = 1,
+    trials: Optional[int] = None,
     master_seed: int = 0,
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     max_time: float = 5000.0,
 ) -> MatrixReport:
-    """Run every supported cell ``trials`` times and aggregate per cell.
+    """Stream every supported cell's trials and aggregate per cell.
 
-    Trial seeds derive from ``(master_seed, global trial index)``, so the
-    report is bit-identical for any worker count.
+    ``trials`` overrides every cell uniformly; ``None`` (default) applies
+    the matrix's per-cell budgets (fallback 1).  Trial seeds derive from
+    ``(master_seed, global trial index)``, so the report is bit-identical
+    for any worker count — and because results fold into
+    :class:`CellAccumulator` as they arrive (submission order), memory
+    stays constant in the number of trials.
     """
-    if trials < 1:
+    if trials is not None and trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     cells = matrix.cells(supported_only=True)
-    specs = [
-        TrialSpec(
-            index=i,
-            seed=derive_seed(master_seed, i),
-            params=(cell, max_time),
-        )
-        for i, cell in enumerate(
-            c for c in cells for _ in range(trials)
-        )
+    counts = [
+        trials if trials is not None else matrix.cell_trials(c)
+        for c in cells
     ]
-    results = resolve_engine(engine, workers).map(run_matrix_cell, specs)
 
-    report = MatrixReport(matrix=matrix.name, trials=trials, master_seed=master_seed)
-    for k, cell in enumerate(cells):
-        chunk = results[k * trials : (k + 1) * trials]
-        decide_rates = [r["decided"] / r["n_correct"] for r in chunk]
-        report.rows.append(
-            {
-                "protocol": cell.protocol,
-                "adversary": cell.adversary,
-                "latency": cell.latency,
-                "trials": trials,
-                "decide_rate": round(mean(decide_rates), 4),
-                "agreement_rate": mean(
-                    [1.0 if r["agreement_ok"] else 0.0 for r in chunk]
-                ),
-                "mean_max_view": mean([float(r["max_view"]) for r in chunk]),
-                "mean_decision_time": round(
-                    mean([r["last_decision_time"] for r in chunk]), 3
-                ),
-                "mean_messages": round(
-                    mean([float(r["total_messages"]) for r in chunk]), 1
-                ),
-            }
-        )
+    def specs() -> Iterator[TrialSpec]:
+        index = 0
+        for cell, count in zip(cells, counts):
+            for _ in range(count):
+                yield TrialSpec(
+                    index=index,
+                    seed=derive_seed(master_seed, index),
+                    params=(cell, max_time),
+                )
+                index += 1
+
+    report = MatrixReport(
+        matrix=matrix.name, trials=trials, master_seed=master_seed
+    )
+    results = resolve_engine(engine, workers).stream(
+        run_matrix_cell, specs(), count=sum(counts)
+    )
+    for cell, count in zip(cells, counts):
+        accumulator = CellAccumulator(cell)
+        for _ in range(count):
+            accumulator.add(next(results))
+        report.rows.append(accumulator.summary())
     return report
 
 
@@ -481,6 +601,30 @@ MATRICES: Dict[str, ScenarioMatrix] = {
         protocols=("probft",),
         n=20,
         description="ProBFT under every adversary × latency model at n=20.",
+        budget=2,
+        budgets=(("equivocation", 6), ("targeted-scheduler", 4)),
+    ),
+    "schedulers": ScenarioMatrix(
+        name="schedulers",
+        adversaries=("none", "targeted-scheduler"),
+        latencies=("constant", "exponential"),
+        n=10,
+        description=(
+            "Every protocol under the receiver-targeted scheduler and "
+            "heavy-tailed (exponential) delays at n=10."
+        ),
+        budgets=(("targeted-scheduler", 6), ("none", 2)),
+    ),
+    "latency-tails": ScenarioMatrix(
+        name="latency-tails",
+        adversaries=("none", "silent", "crash"),
+        latencies=("exponential",),
+        n=16,
+        description=(
+            "Exponential (heavy-tail, capped) delays under benign and "
+            "fail-stop adversaries at n=16."
+        ),
+        budget=3,
     ),
     "full": ScenarioMatrix(
         name="full",

@@ -1,8 +1,12 @@
-"""Uniform protocol runners.
+"""Uniform protocol runners over the trial-lifecycle layer.
 
-Each runner builds a deployment, drives it until all correct replicas decide
-(or a budget expires), and returns a :class:`RunResult` with the numbers the
-benchmarks and tests care about.
+Every runner here is a thin veneer over
+:func:`repro.harness.trial.run_trial`: it assembles a
+:class:`~repro.harness.trial.DeploymentSpec` and lets the one
+protocol-dispatched lifecycle build, drive, and summarize the trial as a
+:class:`RunResult`.  ``run_probft``/``run_pbft``/``run_hotstuff`` survive as
+keyword-compatible conveniences for call sites that address a protocol
+statically.
 
 With :class:`~repro.net.latency.ConstantLatency` of 1.0 and instantaneous
 local deliveries, the *latest decision time* equals the protocol's number of
@@ -12,164 +16,68 @@ measures steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+import functools
+from typing import Dict, Optional
 
-from ..baselines.hotstuff.protocol import HotStuffDeployment
-from ..baselines.pbft.protocol import PbftDeployment
 from ..config import ProtocolConfig
-from ..core.protocol import ProBFTDeployment
 from ..net.latency import ConstantLatency, LatencyModel
 from ..sync.timeouts import TimeoutPolicy
 from ..types import ReplicaId, Value
+from .trial import (
+    SYNCHRONIZER_TYPES,
+    DeploymentSpec,
+    RunResult,
+    list_protocols,
+    run_trial,
+)
 
-#: Message types that belong to view synchronization, not the protocol
-#: proper; the paper's message-complexity comparison excludes them.
-SYNCHRONIZER_TYPES = ("Wish",)
+__all__ = [
+    "RunResult",
+    "SYNCHRONIZER_TYPES",
+    "run_protocol",
+    "run_probft",
+    "run_pbft",
+    "run_hotstuff",
+    "good_case_metrics",
+]
 
 
-@dataclass
-class RunResult:
-    """Outcome of one protocol run."""
-
-    protocol: str
-    n: int
-    f: int
-    decided: int
-    n_correct: int
-    all_decided: bool
-    agreement_ok: bool
-    decided_values: Tuple[Value, ...]
-    decision_views: Tuple[int, ...]
-    max_view: int
-    sim_time: float
-    last_decision_time: float
-    messages_by_type: Dict[str, int] = field(default_factory=dict)
-    total_messages: int = 0
-
-    @property
-    def protocol_messages(self) -> int:
-        """Messages excluding synchronizer traffic (paper's comparison basis)."""
-        return self.total_messages - sum(
-            self.messages_by_type.get(t, 0) for t in SYNCHRONIZER_TYPES
+def run_protocol(
+    protocol: str,
+    config: ProtocolConfig,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    gst: float = 0.0,
+    chaos=None,
+    timeout_policy: Optional[TimeoutPolicy] = None,
+    values: Optional[Dict[ReplicaId, Value]] = None,
+    byzantine=None,
+    max_time: Optional[float] = None,
+    max_events: int = 5_000_000,
+) -> RunResult:
+    """Run one instance of any registered protocol and summarize it."""
+    return run_trial(
+        DeploymentSpec(
+            protocol=protocol,
+            config=config,
+            seed=seed,
+            latency=latency,
+            gst=gst,
+            chaos=chaos,
+            timeout_policy=timeout_policy,
+            values=values,
+            byzantine=byzantine,
+            max_time=max_time,
+            max_events=max_events,
         )
-
-    @property
-    def steps(self) -> float:
-        """Communication steps (== last decision time under unit latency)."""
-        return self.last_decision_time
-
-
-def _summarize(protocol: str, deployment) -> RunResult:
-    correct = deployment.correct_ids
-    decisions = {
-        r: d for r, d in deployment.decisions.items() if r in correct
-    }
-    times = [d.time for d in decisions.values()]
-    return RunResult(
-        protocol=protocol,
-        n=deployment.config.n,
-        f=deployment.config.f,
-        decided=len(decisions),
-        n_correct=len(correct),
-        all_decided=len(decisions) == len(correct),
-        agreement_ok=deployment.agreement_ok,
-        decided_values=tuple(sorted(deployment.decided_values())),
-        decision_views=tuple(sorted({d.view for d in decisions.values()})),
-        max_view=max((d.view for d in decisions.values()), default=0),
-        sim_time=deployment.sim.now,
-        last_decision_time=max(times, default=float("nan")),
-        messages_by_type=dict(deployment.network.stats.sent_by_type),
-        total_messages=deployment.network.stats.sent_total,
     )
 
 
-def run_probft(
-    config: ProtocolConfig,
-    seed: int = 0,
-    latency: Optional[LatencyModel] = None,
-    gst: float = 0.0,
-    chaos=None,
-    timeout_policy: Optional[TimeoutPolicy] = None,
-    values: Optional[Dict[ReplicaId, Value]] = None,
-    byzantine=None,
-    max_time: Optional[float] = None,
-    max_events: int = 5_000_000,
-) -> RunResult:
-    """Run one ProBFT instance and summarize it."""
-    deployment = ProBFTDeployment(
-        config,
-        seed=seed,
-        latency=latency,
-        gst=gst,
-        chaos=chaos,
-        timeout_policy=timeout_policy,
-        values=values,
-        byzantine=byzantine,
-    )
-    deployment.run(max_time=max_time, max_events=max_events)
-    return _summarize("probft", deployment)
-
-
-def run_pbft(
-    config: ProtocolConfig,
-    seed: int = 0,
-    latency: Optional[LatencyModel] = None,
-    gst: float = 0.0,
-    chaos=None,
-    timeout_policy: Optional[TimeoutPolicy] = None,
-    values: Optional[Dict[ReplicaId, Value]] = None,
-    byzantine=None,
-    max_time: Optional[float] = None,
-    max_events: int = 5_000_000,
-) -> RunResult:
-    """Run one single-shot PBFT instance and summarize it."""
-    deployment = PbftDeployment(
-        config,
-        seed=seed,
-        latency=latency,
-        gst=gst,
-        chaos=chaos,
-        timeout_policy=timeout_policy,
-        values=values,
-        byzantine=byzantine,
-    )
-    deployment.run(max_time=max_time, max_events=max_events)
-    return _summarize("pbft", deployment)
-
-
-def run_hotstuff(
-    config: ProtocolConfig,
-    seed: int = 0,
-    latency: Optional[LatencyModel] = None,
-    gst: float = 0.0,
-    chaos=None,
-    timeout_policy: Optional[TimeoutPolicy] = None,
-    values: Optional[Dict[ReplicaId, Value]] = None,
-    byzantine=None,
-    max_time: Optional[float] = None,
-    max_events: int = 5_000_000,
-) -> RunResult:
-    """Run one single-shot HotStuff instance and summarize it."""
-    deployment = HotStuffDeployment(
-        config,
-        seed=seed,
-        latency=latency,
-        gst=gst,
-        chaos=chaos,
-        timeout_policy=timeout_policy,
-        values=values,
-        byzantine=byzantine,
-    )
-    deployment.run(max_time=max_time, max_events=max_events)
-    return _summarize("hotstuff", deployment)
-
-
-_RUNNERS = {
-    "probft": run_probft,
-    "pbft": run_pbft,
-    "hotstuff": run_hotstuff,
-}
+#: Protocol-pinned conveniences; same signature as :func:`run_protocol`
+#: minus the leading protocol name.
+run_probft = functools.partial(run_protocol, "probft")
+run_pbft = functools.partial(run_protocol, "pbft")
+run_hotstuff = functools.partial(run_protocol, "hotstuff")
 
 
 def good_case_metrics(
@@ -186,10 +94,15 @@ def good_case_metrics(
     occasionally misses its quorum and a view change fires — legal behaviour,
     but the good-case complexity comparisons condition on view-1 success.
     """
-    runner = _RUNNERS[protocol]
+    if protocol not in list_protocols():
+        raise KeyError(
+            f"unknown protocol {protocol!r}; registered: "
+            f"{', '.join(list_protocols())}"
+        )
     last = None
     for attempt in range(max_retries):
-        last = runner(
+        last = run_protocol(
+            protocol,
             config,
             seed=seed + attempt,
             latency=ConstantLatency(1.0),

@@ -144,24 +144,30 @@ def run_sweep(
         TrialSpec(index=i, seed=point.seed, params=point)
         for i, point in enumerate(points)
     ]
+
+    # Consume the engine's streaming path: each point's output is folded
+    # into the result as it arrives (submission order), so the sweep layer
+    # never holds a second materialized copy of the outputs and grid
+    # evaluation composes with online aggregation downstream.
+    rows: List[Tuple[SweepPoint, Dict[str, Any]]] = []
+    outputs: Tuple[str, ...] = ()
+    results = resolve_engine(engine, workers).stream(
+        _PointTask(fn), specs, count=len(specs)
+    )
     try:
-        outs = resolve_engine(engine, workers).map(_PointTask(fn), specs)
+        for point, out in zip(points, results):
+            if not outputs:
+                outputs = tuple(out.keys())
+            elif tuple(out.keys()) != outputs:
+                raise ValueError(
+                    f"inconsistent output keys at {point.params}: "
+                    f"{tuple(out.keys())} != {outputs}"
+                )
+            rows.append((point, out))
     except TrialError as err:
         # The in-process path chains the point function's real exception;
         # surface it directly so callers keep catching the original type.
         if err.__cause__ is not None:
             raise err.__cause__
         raise
-
-    rows: List[Tuple[SweepPoint, Dict[str, Any]]] = []
-    outputs: Tuple[str, ...] = ()
-    for point, out in zip(points, outs):
-        if not outputs:
-            outputs = tuple(out.keys())
-        elif tuple(out.keys()) != outputs:
-            raise ValueError(
-                f"inconsistent output keys at {point.params}: "
-                f"{tuple(out.keys())} != {outputs}"
-            )
-        rows.append((point, out))
     return SweepResult(axes=names, outputs=outputs, rows=rows)

@@ -130,15 +130,28 @@ def _viewchange_trial(spec: TrialSpec) -> bool:
 
 
 def _protocol_agreement_trial(spec: TrialSpec) -> tuple:
-    from ..harness.scenarios import equivocation_case
+    # Route through the unified trial lifecycle: the same deployment the
+    # `equivocation` scenario builds, expressed as a DeploymentSpec so the
+    # crypto pool and one protocol runner serve this estimator too.
+    from ..adversary.plans import equivocation_byzantine_map
+    from ..harness.trial import DeploymentSpec, run_trial
+    from ..net.latency import ConstantLatency
+    from ..sync.timeouts import FixedTimeout
 
     config, max_time = spec.params
-    deployment, _plan = equivocation_case(config, seed=spec.seed)
-    deployment.run(max_time=max_time)
-    return (
-        not deployment.agreement_ok,
-        not deployment.all_correct_decided(),
+    byzantine, _plan = equivocation_byzantine_map(config)
+    result = run_trial(
+        DeploymentSpec(
+            protocol="probft",
+            config=config,
+            seed=spec.seed,
+            latency=ConstantLatency(1.0),
+            timeout_policy=FixedTimeout(20.0),
+            byzantine=byzantine,
+            max_time=max_time,
+        )
     )
+    return (not result.agreement_ok, not result.all_decided)
 
 
 # ----------------------------------------------------------------------

@@ -47,7 +47,7 @@ class SMRDeployment:
             config.n,
             latency=latency if latency is not None else ConstantLatency(1.0),
         )
-        self.crypto = CryptoContext.create(
+        self.crypto = CryptoContext.pooled(
             config.n, master_seed=digest("smr-deployment", seed)
         )
         self.applied: Dict[ReplicaId, List[Tuple[int, Value]]] = {}

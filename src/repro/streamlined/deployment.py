@@ -27,6 +27,7 @@ class StreamDeployment:
         epoch_duration: float = 3.0,
         max_epochs: int = 30,
         byzantine_ids: Sequence[ReplicaId] = (),
+        crypto: Optional[CryptoContext] = None,
     ) -> None:
         self.config = config
         self.max_epochs = max_epochs
@@ -36,7 +37,7 @@ class StreamDeployment:
             config.n,
             latency=latency if latency is not None else ConstantLatency(1.0),
         )
-        self.crypto = CryptoContext.create(
+        self.crypto = crypto if crypto is not None else CryptoContext.pooled(
             config.n, master_seed=digest("stream-deployment", seed)
         )
         if len(byzantine_ids) > config.f:

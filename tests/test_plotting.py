@@ -1,0 +1,138 @@
+"""Tests for Figure-5 plot series extraction (no matplotlib required)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.plotting import (
+    PlottingUnavailableError,
+    load_report,
+    matplotlib_available,
+    merge_series,
+    render_plot,
+    report_series,
+)
+
+
+def _report(n, rows):
+    return {"matrix": "m", "n": n, "rows": rows}
+
+
+def _row(protocol="probft", adversary="none", latency="constant", **extra):
+    row = {
+        "protocol": protocol,
+        "adversary": adversary,
+        "latency": latency,
+        "agreement_rate": 1.0,
+        "agreement_ci_low": 0.9,
+        "agreement_ci_high": 1.0,
+        "decide_rate": 0.95,
+        "decide_stderr": 0.02,
+        "mean_decision_time": 3.0,
+    }
+    row.update(extra)
+    return row
+
+
+class TestReportSeries:
+    def test_one_series_per_cell(self):
+        report = _report(
+            20,
+            [
+                _row(adversary="none"),
+                _row(adversary="silent", agreement_rate=0.8),
+            ],
+        )
+        series = report_series(report, "agreement_rate")
+        assert set(series) == {
+            "probft/none/constant",
+            "probft/silent/constant",
+        }
+        assert series["probft/silent/constant"].y == [0.8]
+        assert series["probft/none/constant"].x == [20.0]
+
+    def test_interval_error_bars(self):
+        series = report_series(_report(20, [_row()]), "agreement_rate")
+        entry = series["probft/none/constant"]
+        assert entry.has_error_bars
+        below, above = entry.y_err[0]
+        assert below == pytest.approx(0.1)
+        assert above == pytest.approx(0.0)
+
+    def test_stderr_error_bars_symmetric(self):
+        series = report_series(_report(20, [_row()]), "decide_rate")
+        below, above = series["probft/none/constant"].y_err[0]
+        assert below == above == pytest.approx(0.02)
+
+    def test_metric_without_companions_has_no_error_bars(self):
+        series = report_series(_report(20, [_row()]), "mean_decision_time")
+        assert not series["probft/none/constant"].has_error_bars
+
+    def test_null_metric_rows_skipped(self):
+        report = _report(
+            20, [_row(), _row(adversary="silent", mean_decision_time=None)]
+        )
+        series = report_series(report, "mean_decision_time")
+        assert set(series) == {"probft/none/constant"}
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError, match="nope"):
+            report_series(_report(20, [_row()]), "nope")
+
+    def test_missing_n_raises(self):
+        with pytest.raises(ValueError, match="system size"):
+            report_series({"rows": [_row()]}, "agreement_rate")
+        # ... unless supplied explicitly.
+        series = report_series({"rows": [_row()]}, "agreement_rate", n=40)
+        assert series["probft/none/constant"].x == [40.0]
+
+
+class TestMergeSeries:
+    def test_points_ordered_by_n(self):
+        reports = [
+            _report(40, [_row(agreement_rate=0.99)]),
+            _report(20, [_row(agreement_rate=0.95)]),
+        ]
+        merged = merge_series(reports, "agreement_rate")
+        assert len(merged) == 1
+        assert merged[0].x == [20.0, 40.0]
+        assert merged[0].y == [0.95, 0.99]
+
+    def test_cells_stay_separate(self):
+        reports = [
+            _report(20, [_row(), _row(protocol="pbft")]),
+            _report(40, [_row()]),
+        ]
+        merged = merge_series(reports, "agreement_rate")
+        labels = {s.label: s for s in merged}
+        assert set(labels) == {"probft/none/constant", "pbft/none/constant"}
+        assert labels["probft/none/constant"].x == [20.0, 40.0]
+        assert labels["pbft/none/constant"].x == [20.0]
+
+
+class TestLoadReport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(_report(8, [_row()])))
+        assert load_report(str(path))["n"] == 8
+
+    def test_non_report_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="sweep report"):
+            load_report(str(path))
+
+
+class TestRendering:
+    def test_gated_on_matplotlib(self, tmp_path):
+        series = list(
+            report_series(_report(8, [_row()]), "agreement_rate").values()
+        )
+        out = str(tmp_path / "fig.png")
+        if matplotlib_available():  # pragma: no cover - env dependent
+            assert render_plot(series, "agreement_rate", out) == out
+        else:
+            with pytest.raises(PlottingUnavailableError, match="matplotlib"):
+                render_plot(series, "agreement_rate", out)

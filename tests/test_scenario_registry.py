@@ -119,9 +119,11 @@ class TestMatrixExecution:
             run_matrix_cell(spec)
 
     def test_every_supported_cell_decides_with_agreement(self):
-        """All 33 supported protocol×adversary×latency combos run green."""
+        """All 56 supported protocol×adversary×latency combos run green."""
         report = run_matrix(get_matrix("full").with_size(8), trials=1, master_seed=3)
-        assert len(report.rows) == 33
+        # 3 protocols × 6 adversaries × 4 latencies, minus the ProBFT-only
+        # forgery adversaries on the 2 baselines (2 × 2 × 4 = 16 skipped).
+        assert len(report.rows) == 56
         assert report.all_agreement_ok
         for row in report.rows:
             assert row["decide_rate"] == 1.0
@@ -141,3 +143,93 @@ class TestMatrixExecution:
     def test_trials_validated(self):
         with pytest.raises(ValueError, match="trials"):
             run_matrix(get_matrix("smoke"), trials=0)
+
+
+class TestNewAxes:
+    """The targeted-scheduler adversary and exponential-latency cells."""
+
+    def test_targeted_scheduler_supported_everywhere(self):
+        for protocol in PROTOCOLS:
+            cell = MatrixCell(
+                protocol=protocol,
+                adversary="targeted-scheduler",
+                latency="exponential",
+                n=8,
+                f=2,
+            )
+            assert cell.supported
+
+    def test_targeted_scheduler_cell_decides_after_gst(self):
+        cell = MatrixCell(
+            protocol="probft",
+            adversary="targeted-scheduler",
+            latency="constant",
+            n=8,
+            f=2,
+        )
+        spec = TrialSpec(index=0, seed=derive_seed(5, 0), params=(cell, 5000.0))
+        row = run_matrix_cell(spec)
+        assert row["all_decided"] and row["agreement_ok"]
+        # Victims are starved until GST=30; nobody can finish before it.
+        assert row["last_decision_time"] > 30.0
+
+    def test_exponential_cells_slower_than_constant(self):
+        rows = {}
+        for latency in ("constant", "exponential"):
+            cell = MatrixCell(
+                protocol="probft", adversary="none", latency=latency, n=8, f=2
+            )
+            spec = TrialSpec(index=0, seed=derive_seed(7, 0), params=(cell, 5000.0))
+            rows[latency] = run_matrix_cell(spec)
+        assert rows["constant"]["last_decision_time"] == 3.0
+        assert rows["exponential"]["last_decision_time"] != 3.0
+
+
+class TestTrialBudgets:
+    def test_label_beats_adversary_beats_default(self):
+        matrix = ScenarioMatrix(
+            name="b",
+            protocols=("probft",),
+            adversaries=("none", "silent"),
+            latencies=("constant",),
+            n=8,
+            budget=2,
+            budgets=(("silent", 5), ("probft/silent/constant", 9)),
+        )
+        cells = {c.adversary: c for c in matrix.cells()}
+        assert matrix.cell_trials(cells["silent"]) == 9
+        assert matrix.cell_trials(cells["none"]) == 2
+        assert matrix.total_trials() == 11
+
+    def test_fallback_when_no_budget(self):
+        matrix = get_matrix("smoke")
+        for cell in matrix.cells():
+            assert matrix.cell_trials(cell) == 1
+            assert matrix.cell_trials(cell, fallback=7) == 7
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            ScenarioMatrix(name="bad", budget=0)
+        with pytest.raises(ValueError, match="budget"):
+            ScenarioMatrix(name="bad", budgets=(("silent", 0),))
+
+    def test_run_matrix_applies_budgets(self):
+        matrix = ScenarioMatrix(
+            name="budgeted",
+            protocols=("probft",),
+            adversaries=("none", "silent"),
+            latencies=("constant",),
+            n=8,
+            budgets=(("silent", 3),),
+        )
+        report = run_matrix(matrix, master_seed=2)
+        assert report.trials is None
+        by_adversary = {row["adversary"]: row for row in report.rows}
+        assert by_adversary["none"]["trials"] == 1
+        assert by_adversary["silent"]["trials"] == 3
+
+    def test_uniform_override_wins(self):
+        matrix = MATRICES["schedulers"]
+        report = run_matrix(matrix.with_size(8), trials=1, master_seed=2)
+        assert all(row["trials"] == 1 for row in report.rows)
+        assert report.trials == 1
