@@ -16,6 +16,12 @@ path is never contaminated with attack logic.
 * :mod:`repro.adversary.flooding` — message-flooding replicas testing that
   correct replicas reject invalid samples/signatures.
 * :mod:`repro.adversary.plans` — helpers assembling whole-attack deployments.
+* :mod:`repro.adversary.registry` — the protocol-keyed
+  :class:`~repro.adversary.registry.ByzantineBehavior` registry dispatching
+  each (adversary, protocol) matrix combination to its implementation
+  (including the PBFT/HotStuff analogues in
+  :mod:`repro.baselines.pbft.adversary` and
+  :mod:`repro.baselines.hotstuff.adversary`).
 """
 
 from .behaviors import SilentReplica, CrashReplica, silent_factory, crash_factory
@@ -31,6 +37,14 @@ from .equivocation import (
 )
 from .flooding import FloodingReplica, flooding_factory
 from .plans import equivocation_attack_deployment
+from .registry import (
+    ByzantineBehavior,
+    behavior_for,
+    behavior_supported,
+    byzantine_map_for,
+    list_behaviors,
+    register_behavior,
+)
 
 __all__ = [
     "SilentReplica",
@@ -48,4 +62,10 @@ __all__ = [
     "FloodingReplica",
     "flooding_factory",
     "equivocation_attack_deployment",
+    "ByzantineBehavior",
+    "register_behavior",
+    "behavior_for",
+    "behavior_supported",
+    "byzantine_map_for",
+    "list_behaviors",
 ]

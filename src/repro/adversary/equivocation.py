@@ -55,6 +55,28 @@ class SplitStrategy:
                 return value
         return None
 
+    def supporters(
+        self, value: Value, byzantine_ids: Sequence[ReplicaId]
+    ) -> FrozenSet[ReplicaId]:
+        """Replicas that could vote for ``value``: its target group plus
+        every Byzantine replica (colluders vote for all plan values)."""
+        byz = frozenset(byzantine_ids)
+        for v, targets in self.assignments:
+            if v == value:
+                return frozenset(targets) | byz
+        raise KeyError(f"value {value!r} is not part of this split")
+
+    def max_support(self, byzantine_ids: Sequence[ReplicaId]) -> int:
+        """Largest vote count any single plan value can attract.
+
+        The quorum-safety argument for the deterministic baselines
+        (``tests/test_split_properties.py``) bounds this against the
+        protocols' quorum sizes.
+        """
+        return max(
+            len(self.supporters(v, byzantine_ids)) for v in self.values
+        )
+
 
 def optimal_split(
     n: int, byzantine_ids: Sequence[ReplicaId], val1: Value, val2: Value

@@ -38,12 +38,21 @@ class PbftDeployment:
         timeout_policy: Optional[TimeoutPolicy] = None,
         values: Optional[Dict[ReplicaId, Value]] = None,
         byzantine: Optional[Dict[ReplicaId, ByzantineFactory]] = None,
+        duplicate_prob: float = 0.0,
+        track_bytes: bool = False,
         crypto: Optional[CryptoContext] = None,
     ) -> None:
         self.config = config
         self.sim = Simulator()
         self.network = Network(
-            self.sim, config.n, latency=latency, gst=gst, chaos=chaos
+            self.sim,
+            config.n,
+            latency=latency,
+            gst=gst,
+            chaos=chaos,
+            duplicate_prob=duplicate_prob,
+            duplicate_seed=seed,
+            track_bytes=track_bytes,
         )
         self.crypto = crypto if crypto is not None else CryptoContext.pooled(
             config.n, master_seed=digest("pbft-deployment", seed)

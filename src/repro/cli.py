@@ -146,11 +146,23 @@ def cmd_sweep(args) -> int:
     if args.workers < 0:
         print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
         return 2
+    if (
+        args.matrix_opt is not None
+        and args.matrix is not None
+        and args.matrix_opt != args.matrix
+    ):
+        print(
+            f"conflicting matrix names: positional {args.matrix!r} vs "
+            f"--matrix {args.matrix_opt!r}; pass one or the other",
+            file=sys.stderr,
+        )
+        return 2
+    matrix_name = args.matrix_opt or args.matrix or "smoke"
     try:
-        matrix = get_matrix(args.matrix)
+        matrix = get_matrix(matrix_name)
     except KeyError:
         print(
-            f"unknown matrix {args.matrix!r}; available: "
+            f"unknown matrix {matrix_name!r}; available: "
             f"{', '.join(list_matrices())}",
             file=sys.stderr,
         )
@@ -238,6 +250,25 @@ def cmd_plot(args) -> int:
     return 0
 
 
+def _matrices_epilog() -> str:
+    """Named-matrix reference shown in ``repro sweep --help``."""
+    from .harness.registry import MATRICES
+
+    width = max(len(name) for name in MATRICES)
+    lines = [
+        f"  {name:<{width}}  {MATRICES[name].description}"
+        for name in sorted(MATRICES)
+    ]
+    return (
+        "named matrices:\n"
+        + "\n".join(lines)
+        + "\n\nreports carry per-cell message-cost columns (mean_messages/"
+        "messages_stderr);\nmatrices declared with track_bytes (e.g. "
+        "byte-costs) also fill the byte-cost\ncolumns (mean_bytes/"
+        "bytes_stderr) from canonical message encodings."
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,13 +301,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_smr.set_defaults(fn=cmd_smr)
 
     p_sweep = sub.add_parser(
-        "sweep", help="run a named scenario matrix through the parallel engine"
+        "sweep",
+        help="run a named scenario matrix through the parallel engine",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=_matrices_epilog(),
     )
     p_sweep.add_argument(
         "matrix",
         nargs="?",
-        default="smoke",
-        help="matrix name (see repro.harness.registry.MATRICES); default smoke",
+        default=None,
+        help="matrix name (see the list below); default smoke",
+    )
+    p_sweep.add_argument(
+        "--matrix",
+        dest="matrix_opt",
+        default=None,
+        metavar="NAME",
+        help="matrix name (alias for the positional argument)",
     )
     p_sweep.add_argument(
         "--trials",

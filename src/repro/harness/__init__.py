@@ -65,10 +65,28 @@ their trials through :class:`~repro.harness.parallel.ExperimentEngine`::
 
 From the command line, ``python -m repro sweep [matrix] --trials T
 --workers K`` runs a named scenario matrix (see
-:data:`repro.harness.registry.MATRICES`) and prints a per-cell table, or
-JSON with ``--json``; omitting ``--trials`` applies the matrix's per-cell
-trial budgets.  ``python -m repro plot report.json ... -o fig5.png``
-renders Figure-5 style curves from those JSON reports.
+:data:`repro.harness.registry.MATRICES`, or ``repro sweep --help`` for the
+annotated list) and prints a per-cell table, or JSON with ``--json``;
+omitting ``--trials`` applies the matrix's per-cell trial budgets.
+``python -m repro plot report.json ... -o fig5.png`` renders Figure-5
+style curves from those JSON reports (cost metrics like ``mean_messages``
+and ``mean_bytes`` plot with stderr error bars).
+
+Adversary dispatch and cost columns
+-----------------------------------
+
+Matrix adversaries resolve through the protocol-keyed
+:mod:`repro.adversary.registry` behavior registry
+(:func:`~repro.adversary.registry.register_behavior`): protocol-agnostic
+behaviors (silence, crashes, the targeted scheduler, network
+``duplication``) register once, while the forgery attacks dispatch to
+per-protocol implementations — ProBFT's Figure-4 equivocation/flooding and
+their PBFT/HotStuff analogues — so **no protocol × adversary cell is
+unsupported** (the ``adversary-complete`` matrix is the CI audit).  Every
+report row carries message-cost columns (``mean_messages`` /
+``messages_stderr``); matrices declared with ``track_bytes=True`` (e.g.
+``byte-costs``) also fill ``mean_bytes`` / ``bytes_stderr`` from canonical
+message encodings, making bit complexity a first-class sweep metric.
 
 Streaming aggregation
 ---------------------

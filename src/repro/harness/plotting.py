@@ -46,6 +46,8 @@ class PlottingUnavailableError(RuntimeError):
 METRICS_WITH_INTERVALS: Dict[str, Tuple[str, Optional[str]]] = {
     "agreement_rate": ("agreement_ci_low", "agreement_ci_high"),
     "decide_rate": ("decide_stderr", None),
+    "mean_messages": ("messages_stderr", None),
+    "mean_bytes": ("bytes_stderr", None),
 }
 
 

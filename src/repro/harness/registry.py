@@ -19,12 +19,21 @@ Every cell realizes its trial as a
 :class:`~repro.harness.trial.DeploymentSpec` executed by the one
 protocol-dispatched :func:`~repro.harness.trial.run_trial` lifecycle.
 
-Adversary support is protocol-aware: silence, crashes, and the targeted
-scheduler apply to every protocol (the crash wrapper embeds the protocol's
-own honest replica; the scheduler attacks the network, not the replicas),
-while equivocation and flooding craft ProBFT messages and are therefore
-marked unsupported for the deterministic baselines — ``cells()`` skips
-those combinations unless asked not to.
+Adversary support is protocol-keyed through the
+:mod:`repro.adversary.registry` behavior registry: silence, crashes, the
+targeted scheduler, and network duplication apply to every protocol
+(wildcard entries), while equivocation and flooding dispatch to
+per-protocol implementations — ProBFT's Figure-4 attacks and their PBFT
+(:mod:`repro.baselines.pbft.adversary`) and HotStuff
+(:mod:`repro.baselines.hotstuff.adversary`) analogues.  Every enumerated
+(protocol, adversary) combination resolves, so ``cells()`` never skips a
+cell; ``supported`` exists only as the audit hook for combinations the
+behavior registry does not know.
+
+Cells built with ``track_bytes=True`` additionally account per-message
+canonical-encoding bytes (:class:`~repro.net.network.MessageStats`), and the
+per-cell report carries message- and byte-cost columns — bit complexity as a
+first-class metric, in the spirit of scalable Byzantine reliable broadcast.
 """
 
 from __future__ import annotations
@@ -32,9 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..adversary.behaviors import CrashReplica, silent_factory
-from ..adversary.plans import equivocation_byzantine_map
-from ..adversary.flooding import flooding_factory
+from ..adversary.registry import behavior_for, behavior_supported
 from ..config import ProtocolConfig
 from ..net.faults import ComposedChaos, PreGstChaos, ReceiverTargetedChaos
 from ..net.latency import ConstantLatency, ExponentialLatency, UniformLatency
@@ -164,6 +171,7 @@ ADVERSARIES: Tuple[str, ...] = (
     "crash",
     "equivocation",
     "flooding",
+    "duplication",
     "targeted-scheduler",
 )
 LATENCIES: Tuple[str, ...] = (
@@ -173,100 +181,37 @@ LATENCIES: Tuple[str, ...] = (
     "pre-gst-chaos",
 )
 
-#: Adversaries that forge protocol-specific (ProBFT) messages; the
-#: deterministic baselines have no equivalent implementation yet.
-_PROBFT_ONLY_ADVERSARIES = frozenset({"equivocation", "flooding"})
-
 #: GST used by cells whose adversary/latency needs an asynchronous prefix.
 _CELL_GST = 30.0
 
 
 @dataclass(frozen=True)
 class MatrixCell:
-    """One (protocol, adversary, latency) combination at a fixed (n, f)."""
+    """One (protocol, adversary, latency) combination at a fixed (n, f).
+
+    ``track_bytes`` cells additionally account canonical-encoding bytes per
+    message, feeding the report's byte-cost columns.
+    """
 
     protocol: str
     adversary: str
     latency: str
     n: int
     f: int
+    track_bytes: bool = False
 
     @property
     def supported(self) -> bool:
-        return not (
-            self.adversary in _PROBFT_ONLY_ADVERSARIES
-            and self.protocol != "probft"
-        )
+        """Whether the behavior registry implements this combination.
+
+        Every canonical (protocol, adversary) pair resolves; this exists as
+        the audit hook for combinations future axes might not cover yet.
+        """
+        return behavior_supported(self.adversary, self.protocol)
 
     @property
     def label(self) -> str:
         return f"{self.protocol}/{self.adversary}/{self.latency}"
-
-
-def _honest_replica_factory(protocol: str):
-    """A factory building the protocol's *honest* replica (for CrashReplica)."""
-    if protocol == "probft":
-        return None  # CrashReplica's built-in default
-    if protocol == "pbft":
-        from ..baselines.pbft.protocol import default_value
-        from ..baselines.pbft.replica import PbftReplica
-
-        cls, default = PbftReplica, default_value
-    elif protocol == "hotstuff":
-        from ..baselines.hotstuff.protocol import default_value
-        from ..baselines.hotstuff.replica import HotStuffReplica
-
-        cls, default = HotStuffReplica, default_value
-    else:
-        raise KeyError(f"unknown protocol {protocol!r}")
-
-    def inner(replica_id, config, crypto, transport):
-        return lambda: cls(
-            replica_id=replica_id,
-            config=config,
-            crypto=crypto,
-            transport=transport,
-            my_value=default(replica_id),
-        )
-
-    return inner
-
-
-def _crash_factory_for(protocol: str, crash_time: float):
-    """Protocol-aware crash adversary: honest until ``crash_time``, then dead."""
-    inner = _honest_replica_factory(protocol)
-
-    def build(replica_id, config, crypto, transport):
-        inner_factory = (
-            inner(replica_id, config, crypto, transport) if inner else None
-        )
-        return CrashReplica(
-            replica_id, config, crypto, transport, crash_time, inner_factory
-        )
-
-    return build
-
-
-def _byzantine_for(cell: MatrixCell, config: ProtocolConfig) -> Dict[int, Any]:
-    """The ``byzantine=`` deployment map realizing the cell's adversary."""
-    if cell.adversary in ("none", "targeted-scheduler"):
-        # The targeted scheduler corrupts the network, not any replica.
-        return {}
-    if cell.adversary == "silent":
-        # Silent view-1 leader: the weakest attack that still forces the
-        # synchronizer to act, meaningful for every protocol.
-        return {0: silent_factory()}
-    if cell.adversary == "crash":
-        return {
-            r: _crash_factory_for(cell.protocol, crash_time=1.5)
-            for r in range(config.n - config.f, config.n)
-        }
-    if cell.adversary == "flooding":
-        return {config.n - 1: flooding_factory()}
-    if cell.adversary == "equivocation":
-        byzantine, _plan = equivocation_byzantine_map(config)
-        return byzantine
-    raise KeyError(f"unknown adversary {cell.adversary!r}")
 
 
 def _network_for(cell: MatrixCell, config: ProtocolConfig, seed: int) -> Dict[str, Any]:
@@ -310,17 +255,23 @@ def cell_deployment_spec(
     """The :class:`DeploymentSpec` realizing one seeded run of ``cell``."""
     if not cell.supported:
         raise ValueError(
-            f"cell {cell.label} is unsupported: adversary {cell.adversary!r} "
-            f"forges ProBFT messages and cannot target {cell.protocol!r}"
+            f"cell {cell.label} is unsupported: no Byzantine behavior is "
+            f"registered for adversary {cell.adversary!r} on protocol "
+            f"{cell.protocol!r}"
         )
     config = ProtocolConfig(n=cell.n, f=cell.f)
+    behavior = behavior_for(cell.adversary, cell.protocol)
     return DeploymentSpec(
         protocol=cell.protocol,
         config=config,
         seed=seed,
         timeout_policy=FixedTimeout(30.0),
-        byzantine=_byzantine_for(cell, config),
+        byzantine=behavior.byzantine_map(cell.protocol, config),
+        track_bytes=cell.track_bytes,
         max_time=max_time,
+        # Behaviors that attack the deployment itself (e.g. duplication's
+        # duplicate_prob) contribute their kwargs here, not via replicas.
+        **behavior.deployment_kwargs(),
         **_network_for(cell, config, seed),
     )
 
@@ -346,6 +297,7 @@ def run_matrix_cell(spec: TrialSpec) -> Dict[str, Any]:
         "max_view": result.max_view,
         "last_decision_time": result.last_decision_time,
         "total_messages": result.total_messages,
+        "total_bytes": result.total_bytes,
     }
 
 
@@ -370,6 +322,9 @@ class ScenarioMatrix:
     description: str = ""
     budget: Optional[int] = None
     budgets: Tuple[Tuple[str, int], ...] = ()
+    #: Account per-message bytes in every cell (populates the byte-cost
+    #: report columns; costs one canonical encode per distinct message).
+    track_bytes: bool = False
 
     def __post_init__(self) -> None:
         for axis, known in (
@@ -402,7 +357,14 @@ class ScenarioMatrix:
         """
         f = self.resolved_f()
         out = [
-            MatrixCell(protocol=p, adversary=a, latency=lat, n=self.n, f=f)
+            MatrixCell(
+                protocol=p,
+                adversary=a,
+                latency=lat,
+                n=self.n,
+                f=f,
+                track_bytes=self.track_bytes,
+            )
             for p in self.protocols
             for a in self.adversaries
             for lat in self.latencies
@@ -443,6 +405,7 @@ class ScenarioMatrix:
             description=self.description,
             budget=self.budget,
             budgets=self.budgets,
+            track_bytes=self.track_bytes,
         )
 
 
@@ -466,6 +429,7 @@ class CellAccumulator:
         self._max_view = Welford()
         self._decision_time = Welford()
         self._messages = Welford()
+        self._bytes = Welford()
 
     def add(self, row: Dict[str, Any]) -> None:
         self.trials += 1
@@ -476,9 +440,15 @@ class CellAccumulator:
         self._max_view.add(float(row["max_view"]))
         self._decision_time.add(row["last_decision_time"])
         self._messages.add(float(row["total_messages"]))
+        self._bytes.add(float(row["total_bytes"]))
 
     def summary(self) -> Dict[str, Any]:
-        """The per-cell report row (means, rates, and intervals)."""
+        """The per-cell report row (means, rates, intervals, and costs).
+
+        The cost columns (``mean_messages``/``mean_bytes`` with stderr
+        companions) reproduce communication-cost comparisons; bytes are 0
+        unless the cell was built with ``track_bytes=True``.
+        """
         agreement_low, agreement_high = self._agreement_prop.interval
         return {
             "protocol": self.cell.protocol,
@@ -493,6 +463,9 @@ class CellAccumulator:
             "mean_max_view": self._max_view.mean,
             "mean_decision_time": round(self._decision_time.mean, 3),
             "mean_messages": round(self._messages.mean, 1),
+            "messages_stderr": round(self._messages.stderr, 1),
+            "mean_bytes": round(self._bytes.mean, 1),
+            "bytes_stderr": round(self._bytes.stderr, 1),
         }
 
 
@@ -525,6 +498,9 @@ class MatrixReport:
             "mean_max_view",
             "mean_decision_time",
             "mean_messages",
+            "messages_stderr",
+            "mean_bytes",
+            "bytes_stderr",
         ]
 
     def table_rows(self) -> List[List[Any]]:
@@ -626,11 +602,33 @@ MATRICES: Dict[str, ScenarioMatrix] = {
         ),
         budget=3,
     ),
+    "adversary-complete": ScenarioMatrix(
+        name="adversary-complete",
+        latencies=("constant",),
+        n=8,
+        description=(
+            "Every protocol × every adversary (incl. the PBFT/HotStuff "
+            "equivocation/flooding analogues) at n=8 — the no-unsupported-"
+            "cells audit; the CI matrix-completeness smoke target."
+        ),
+    ),
+    "byte-costs": ScenarioMatrix(
+        name="byte-costs",
+        adversaries=("none", "flooding", "duplication"),
+        latencies=("constant",),
+        n=10,
+        track_bytes=True,
+        description=(
+            "Per-cell message- and byte-cost columns (bit complexity as a "
+            "first-class metric) under benign, flooding, and duplicating "
+            "conditions at n=10."
+        ),
+    ),
     "full": ScenarioMatrix(
         name="full",
         description=(
             "Every protocol × adversary × latency combination at n=20 "
-            "(unsupported baseline/forgery combos skipped)."
+            "(no combination is unsupported)."
         ),
     ),
 }

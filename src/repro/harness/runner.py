@@ -52,6 +52,8 @@ def run_protocol(
     timeout_policy: Optional[TimeoutPolicy] = None,
     values: Optional[Dict[ReplicaId, Value]] = None,
     byzantine=None,
+    duplicate_prob: float = 0.0,
+    track_bytes: bool = False,
     max_time: Optional[float] = None,
     max_events: int = 5_000_000,
 ) -> RunResult:
@@ -67,6 +69,8 @@ def run_protocol(
             timeout_policy=timeout_policy,
             values=values,
             byzantine=byzantine,
+            duplicate_prob=duplicate_prob,
+            track_bytes=track_bytes,
             max_time=max_time,
             max_events=max_events,
         )

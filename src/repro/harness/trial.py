@@ -69,6 +69,9 @@ class RunResult:
     last_decision_time: float
     messages_by_type: Dict[str, int] = field(default_factory=dict)
     total_messages: int = 0
+    #: Canonical-encoding bytes sent; 0 unless the deployment was built with
+    #: ``track_bytes=True`` (encoding every message has a measurable cost).
+    total_bytes: int = 0
 
     @property
     def protocol_messages(self) -> int:
@@ -85,7 +88,7 @@ class RunResult:
 
 #: Deployment constructor signature shared by every registered protocol:
 #: ``(config, seed=, latency=, gst=, chaos=, timeout_policy=, values=,
-#: byzantine=) -> deployment``.
+#: byzantine=, duplicate_prob=, track_bytes=) -> deployment``.
 DeploymentFactory = Callable[..., Any]
 
 _PROTOCOLS: Dict[str, DeploymentFactory] = {}
@@ -144,6 +147,10 @@ class DeploymentSpec:
     timeout_policy: Optional[TimeoutPolicy] = None
     values: Optional[Dict[ReplicaId, Value]] = None
     byzantine: Optional[Dict[ReplicaId, Any]] = None
+    #: Network-level message duplication probability (receivers must dedup).
+    duplicate_prob: float = 0.0
+    #: Account per-message canonical-encoding bytes (costs one encode each).
+    track_bytes: bool = False
     max_time: Optional[float] = None
     max_events: int = 5_000_000
     extra: Tuple[Tuple[str, Any], ...] = ()
@@ -164,6 +171,8 @@ class DeploymentSpec:
             timeout_policy=self.timeout_policy,
             values=self.values,
             byzantine=self.byzantine,
+            duplicate_prob=self.duplicate_prob,
+            track_bytes=self.track_bytes,
             **dict(self.extra),
         )
 
@@ -218,6 +227,7 @@ def summarize(protocol: str, deployment) -> RunResult:
         last_decision_time=max(times, default=float("nan")),
         messages_by_type=dict(deployment.network.stats.sent_by_type),
         total_messages=deployment.network.stats.sent_total,
+        total_bytes=deployment.network.stats.bytes_total,
     )
 
 

@@ -12,9 +12,9 @@ reproduce Figure 1b (number of exchanged messages).
 from __future__ import annotations
 
 import random
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..errors import NotRegisteredError
 from ..types import ReplicaId
@@ -113,7 +113,10 @@ class Network:
             random.Random(f"net-dup:{duplicate_seed}") if duplicate_prob else None
         )
         self._track_bytes = track_bytes
-        self._size_cache: Dict[int, int] = {}
+        # id -> (message, size); the strong reference keeps the id stable for
+        # as long as the entry lives (a bare id() key can be recycled by a
+        # later allocation and silently return the dead message's size).
+        self._size_cache: "OrderedDict[int, Tuple[object, int]]" = OrderedDict()
         self._handlers: Dict[ReplicaId, DeliveryHandler] = {}
         self.stats = MessageStats()
 
@@ -169,25 +172,34 @@ class Network:
             self._sim.schedule_at(max(extra, delivery), deliver)
         return delivery
 
+    #: Bounded FIFO for the size cache; broadcasts only need the hot tail.
+    _SIZE_CACHE_LIMIT = 4096
+
     def _message_size(self, message: object) -> Optional[int]:
         """Canonical-encoding size in bytes (None when tracking is off).
 
-        Sizes are cached by object identity: broadcasts/multicasts reuse one
-        message object, so each distinct message is encoded once.
+        Sizes are cached by object identity — broadcasts/multicasts reuse
+        one message object, so each distinct message is encoded once.  The
+        entry pins the message alive and re-checks identity on hit, so a
+        recycled ``id()`` can never serve a dead message's size; FIFO
+        eviction bounds what the pin keeps alive.
         """
         if not self._track_bytes:
             return None
         key = id(message)
-        cached = self._size_cache.get(key)
-        if cached is None:
-            from ..crypto.hashing import stable_encode
+        entry = self._size_cache.get(key)
+        if entry is not None and entry[0] is message:
+            return entry[1]
+        from ..crypto.hashing import stable_encode
 
-            try:
-                cached = len(stable_encode(message))
-            except TypeError:
-                cached = 0
-            self._size_cache[key] = cached
-        return cached
+        try:
+            size = len(stable_encode(message))
+        except TypeError:
+            size = 0
+        self._size_cache[key] = (message, size)
+        if len(self._size_cache) > self._SIZE_CACHE_LIMIT:
+            self._size_cache.popitem(last=False)
+        return size
 
     def multicast(
         self, src: ReplicaId, targets: Iterable[ReplicaId], message: object

@@ -3,11 +3,23 @@
 import pytest
 
 from repro.adversary.behaviors import silent_factory
+from repro.baselines.hotstuff.protocol import HotStuffDeployment
+from repro.baselines.pbft.protocol import PbftDeployment
 from repro.config import ProtocolConfig
 from repro.core.protocol import ProBFTDeployment
+from repro.harness.metrics import mean
+from repro.harness.parallel import ExperimentEngine, TrialSpec, derive_seed
+from repro.harness.registry import get_matrix, run_matrix, run_matrix_cell
+from repro.harness.trial import DeploymentSpec, run_trial
 from repro.net.network import Network
 from repro.net.simulator import Simulator
 from repro.sync.timeouts import FixedTimeout
+
+DEPLOYMENTS = {
+    "probft": ProBFTDeployment,
+    "pbft": PbftDeployment,
+    "hotstuff": HotStuffDeployment,
+}
 
 
 class TestByteTracking:
@@ -44,6 +56,34 @@ class TestByteTracking:
 
         assert net.stats.bytes_total == 4 * len(stable_encode(message))
 
+    def test_size_cache_rechecks_identity_on_recycled_ids(self):
+        """A recycled id() must never serve a dead message's size.
+
+        CPython reuses addresses of freed objects, so a bare ``id -> size``
+        cache can hand a new message the size of a dead one (observed as
+        order-dependent byte totals).  The cache pins entries and re-checks
+        identity; a planted stale entry must be recomputed, not served.
+        """
+        from repro.crypto.hashing import stable_encode
+
+        sim = Simulator()
+        net = Network(sim, 2, track_bytes=True)
+        net.register(1, lambda s, m: None)
+        old = ("long-dead-message-payload" * 4,)
+        new = ("tiny",)
+        # Simulate the collision: the cache holds `old` under new's id.
+        net._size_cache[id(new)] = (old, len(stable_encode(old)))
+        net.send(0, 1, new)
+        assert net.stats.bytes_total == len(stable_encode(new))
+
+    def test_size_cache_bounded(self):
+        sim = Simulator()
+        net = Network(sim, 2, track_bytes=True)
+        net.register(1, lambda s, m: None)
+        for i in range(net._SIZE_CACHE_LIMIT + 50):
+            net.send(0, 1, ("msg", i))
+        assert len(net._size_cache) <= net._SIZE_CACHE_LIMIT
+
     def test_unencodable_message_counts_zero(self):
         sim = Simulator()
         net = Network(sim, 2, track_bytes=True)
@@ -73,6 +113,48 @@ class TestByteTracking:
         )
         assert bad_avg > 3 * good_avg
 
+    @pytest.mark.parametrize("protocol", sorted(DEPLOYMENTS))
+    def test_every_protocol_disabled_by_default(self, protocol):
+        dep = DEPLOYMENTS[protocol](ProtocolConfig(n=10, f=2))
+        dep.run(max_time=500)
+        assert dep.network.stats.bytes_total == 0
+
+    @pytest.mark.parametrize("protocol", sorted(DEPLOYMENTS))
+    def test_every_protocol_tracks_bytes_when_enabled(self, protocol):
+        dep = DEPLOYMENTS[protocol](
+            ProtocolConfig(n=10, f=2), track_bytes=True
+        )
+        dep.run(max_time=500)
+        stats = dep.network.stats
+        assert dep.all_correct_decided()
+        assert stats.bytes_total > 0
+        assert set(stats.bytes_by_type) == set(stats.sent_by_type)
+
+    @pytest.mark.parametrize("protocol", sorted(DEPLOYMENTS))
+    def test_trial_lifecycle_reports_bytes(self, protocol):
+        """`run_trial` surfaces the deployment's byte totals, and they match
+        a hand-built deployment on the same golden seed."""
+        config = ProtocolConfig(n=8, f=2)
+        result = run_trial(
+            DeploymentSpec(
+                protocol=protocol, config=config, seed=17,
+                track_bytes=True, max_time=500,
+            )
+        )
+        direct = DEPLOYMENTS[protocol](config, seed=17, track_bytes=True)
+        direct.run(max_time=500)
+        assert result.total_bytes == direct.network.stats.bytes_total > 0
+
+    def test_pbft_broadcasts_cost_more_bytes_than_probft_samples(self):
+        """PBFT's all-to-all vote broadcasts out-byte ProBFT's O(√n)-sample
+        multicasts at moderate n — the Figure-1b comparison in bytes."""
+        config = ProtocolConfig(n=40, f=10)
+        pbft = PbftDeployment(config, track_bytes=True).run(max_time=500)
+        probft = ProBFTDeployment(config, track_bytes=True).run(max_time=500)
+        assert (
+            pbft.network.stats.bytes_total > probft.network.stats.bytes_total
+        )
+
     def test_prepare_bytes_scale_with_sample_size(self):
         """Prepare messages carry the O(sqrt(n))-sized VRF sample list."""
         small = ProBFTDeployment(ProtocolConfig(n=16, f=3), track_bytes=True)
@@ -88,3 +170,56 @@ class TestByteTracking:
             / big.network.stats.sent_by_type["Prepare"]
         )
         assert big_avg > small_avg
+
+
+class TestByteCostMatrix:
+    """The ``byte-costs`` matrix: streamed == materialized, golden seeds."""
+
+    @pytest.mark.parametrize("master_seed", [0, 42])
+    def test_streamed_byte_stats_equal_materialized_sums(self, master_seed):
+        """Per-cell mean bytes/messages from the constant-memory streamed
+        path exactly equal batch means over materialized trial rows."""
+        matrix = get_matrix("byte-costs").with_size(8)
+        trials = 3
+        streamed = run_matrix(matrix, trials=trials, master_seed=master_seed)
+
+        cells = matrix.cells()
+        specs = [
+            TrialSpec(
+                index=i,
+                seed=derive_seed(master_seed, i),
+                params=(cell, 5000.0),
+            )
+            for i, cell in enumerate(c for c in cells for _ in range(trials))
+        ]
+        rows = ExperimentEngine(workers=0).map(run_matrix_cell, specs)
+        for k, (cell, report_row) in enumerate(zip(cells, streamed.rows)):
+            chunk = rows[k * trials : (k + 1) * trials]
+            assert report_row["mean_bytes"] == round(
+                mean([float(r["total_bytes"]) for r in chunk]), 1
+            )
+            assert report_row["mean_messages"] == round(
+                mean([float(r["total_messages"]) for r in chunk]), 1
+            )
+            assert report_row["mean_bytes"] > 0, cell.label
+
+    def test_byte_columns_zero_without_tracking(self):
+        report = run_matrix(get_matrix("smoke"), trials=2, master_seed=5)
+        for row in report.rows:
+            assert row["mean_bytes"] == 0.0
+            assert row["bytes_stderr"] == 0.0
+            assert row["mean_messages"] > 0
+
+    def test_duplication_cell_runs_and_tracks(self):
+        """Network-level duplication composes with byte tracking; receivers
+        dedup so agreement and termination are untouched."""
+        matrix = get_matrix("byte-costs").with_size(8)
+        cell = next(
+            c for c in matrix.cells() if c.adversary == "duplication"
+        )
+        row = run_matrix_cell(
+            TrialSpec(index=0, seed=derive_seed(3, 0), params=(cell, 5000.0))
+        )
+        assert row["agreement_ok"]
+        assert row["decided"] == row["n_correct"]
+        assert row["total_bytes"] > 0

@@ -79,19 +79,13 @@ class TestMatrixExpansion:
         combos = {(c.protocol, c.adversary, c.latency) for c in cells}
         assert combos == set(itertools.product(PROTOCOLS, ADVERSARIES, LATENCIES))
 
-    def test_supported_filter_drops_only_probft_forgeries(self):
+    def test_no_cell_is_unsupported(self):
+        """Every protocol × adversary combination has a registered behavior
+        (the PBFT/HotStuff forgery analogues closed the last gaps)."""
         matrix = get_matrix("full")
-        skipped = {
-            (c.protocol, c.adversary, c.latency)
-            for c in matrix.cells(supported_only=False)
-            if not c.supported
-        }
-        assert skipped == {
-            (p, a, lat)
-            for p in ("pbft", "hotstuff")
-            for a in ("equivocation", "flooding")
-            for lat in LATENCIES
-        }
+        cells = matrix.cells(supported_only=False)
+        assert all(c.supported for c in cells)
+        assert matrix.cells(supported_only=True) == cells
 
     def test_unknown_axis_value_rejected(self):
         with pytest.raises(ValueError, match="unknown matrix axis"):
@@ -111,19 +105,20 @@ class TestMatrixExpansion:
 
 class TestMatrixExecution:
     def test_unsupported_cell_refuses_to_run(self):
+        """A cell whose adversary has no registered behavior cannot run."""
         cell = MatrixCell(
-            protocol="pbft", adversary="equivocation", latency="constant", n=8, f=2
+            protocol="pbft", adversary="time-travel", latency="constant", n=8, f=2
         )
+        assert not cell.supported
         spec = TrialSpec(index=0, seed=derive_seed(0, 0), params=(cell, 100.0))
         with pytest.raises(ValueError, match="unsupported"):
             run_matrix_cell(spec)
 
     def test_every_supported_cell_decides_with_agreement(self):
-        """All 56 supported protocol×adversary×latency combos run green."""
+        """All 84 protocol×adversary×latency combos run green — including
+        equivocation/flooding against the deterministic baselines."""
         report = run_matrix(get_matrix("full").with_size(8), trials=1, master_seed=3)
-        # 3 protocols × 6 adversaries × 4 latencies, minus the ProBFT-only
-        # forgery adversaries on the 2 baselines (2 × 2 × 4 = 16 skipped).
-        assert len(report.rows) == 56
+        assert len(report.rows) == 3 * 7 * 4
         assert report.all_agreement_ok
         for row in report.rows:
             assert row["decide_rate"] == 1.0
