@@ -1,0 +1,193 @@
+"""BENCH-BACKENDS — one Figure-5 protocol cell under all four backends.
+
+The execution-backend seam promises two things: **bit-identical results**
+on every backend, and wall-clock that scales with the hardware.  This bench
+pins both on the smallest expensive cell we have — the full discrete-event
+simulation of the Figure-4c optimal equivocation attack at ``n = 20``
+(each trial is a whole protocol run; this is exactly the workload the
+Monte-Carlo Figure-5 estimates are made of) — and records the per-backend
+wall-clock trajectory in ``BENCH_backends.json`` at the repo root, so
+successive PRs can track how the execution layer's overhead and scaling
+evolve.
+
+On a multi-core machine the pool/sharded backends must beat serial on this
+cell (the trials are independent CPU-bound simulations); on a single-core
+machine (some CI sandboxes) no process fan-out can win, so the bench
+records the measurement and asserts only bit-identity.  The recorded
+``cpu_count`` makes the context explicit in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.crypto.context import clear_crypto_pool
+from repro.harness.backends import ShardedBackend, TrialSpec, derive_seed
+from repro.harness.metrics import Welford
+from repro.harness.parallel import ExperimentEngine, workers_from_env
+from repro.harness.tables import render_table
+from repro.montecarlo.experiments import _protocol_agreement_trial
+
+#: Figure-5 protocol cell: full simulation, optimal split attack, f/n = 0.2.
+N = 20
+TRIALS = 16
+MASTER_SEED = 2024
+MAX_TIME = 5000.0
+BACKEND_NAMES = ("serial", "pool", "async", "sharded")
+
+#: Workers for the concurrent backends; 0 = saturate (cpu count).
+WORKERS = workers_from_env("REPRO_BENCH_WORKERS", default=0) or (
+    os.cpu_count() or 1
+)
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+
+
+def time_backend(name: str) -> tuple:
+    """Wall-clock one full pass of the cell's trials on one backend.
+
+    The per-process crypto pool is cleared first so every backend pays the
+    same warm-up (pool workers fork *after* the clear and warm their own).
+    """
+    config = ProtocolConfig(n=N, f=N // 5)
+    clear_crypto_pool()
+    engine = ExperimentEngine(workers=WORKERS, backend=name)
+    start = time.perf_counter()
+    results = engine.run_trials(
+        _protocol_agreement_trial,
+        TRIALS,
+        master_seed=MASTER_SEED,
+        params=(config, MAX_TIME),
+    )
+    elapsed = time.perf_counter() - start
+    engine.close()
+    return results, elapsed
+
+
+def warmup() -> None:
+    """One untimed mini-pass so the first timed backend isn't the only one
+    paying import/OS-cache warm-up (backends run in sequence)."""
+    config = ProtocolConfig(n=N, f=N // 5)
+    clear_crypto_pool()
+    ExperimentEngine(workers=0).run_trials(
+        _protocol_agreement_trial,
+        2,
+        master_seed=MASTER_SEED,
+        params=(config, MAX_TIME),
+    )
+
+
+def fold_violation(acc: Welford, result: tuple) -> None:
+    violated, _undecided = result
+    acc.add(1.0 if violated else 0.0)
+
+
+def time_sharded_fold() -> tuple:
+    """The sharded merge fan-in on the same cell: per-shard accumulators
+    folded in-worker, only the accumulators crossing the process boundary
+    (the constant-memory shape a future multi-host backend ships home)."""
+    config = ProtocolConfig(n=N, f=N // 5)
+    clear_crypto_pool()
+    backend = ShardedBackend(workers=WORKERS)
+    specs = [
+        TrialSpec(i, derive_seed(MASTER_SEED, i), params=(config, MAX_TIME))
+        for i in range(TRIALS)
+    ]
+    start = time.perf_counter()
+    merged = backend.map_reduce(
+        _protocol_agreement_trial, specs, Welford, fold_violation, count=TRIALS
+    )
+    elapsed = time.perf_counter() - start
+    backend.close()
+    return merged, elapsed
+
+
+def compute_backend_matrix():
+    warmup()
+    rows = {}
+    reference = None
+    for name in BACKEND_NAMES:
+        results, elapsed = time_backend(name)
+        if reference is None:
+            reference = results
+        rows[name] = {
+            "seconds": round(elapsed, 3),
+            "identical_to_serial": results == reference,
+        }
+    merged, fold_elapsed = time_sharded_fold()
+    rows["sharded-fold"] = {
+        "seconds": round(fold_elapsed, 3),
+        # The merged accumulator must reproduce the streamed fold exactly
+        # (0/1 observations: float sums are exact).
+        "identical_to_serial": (
+            merged.count == TRIALS
+            and merged.total == float(sum(v for v, _ in reference))
+        ),
+    }
+    serial_s = rows["serial"]["seconds"]
+    for name in rows:
+        rows[name]["speedup_vs_serial"] = (
+            round(serial_s / rows[name]["seconds"], 2)
+            if rows[name]["seconds"]
+            else float("inf")
+        )
+    violations = sum(v for v, _ in reference)
+    return {
+        "bench": "fig5-protocol-cell",
+        "n": N,
+        "f": N // 5,
+        "trials": TRIALS,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count() or 1,
+        "violations": violations,
+        "backends": rows,
+        "fastest": min(BACKEND_NAMES, key=lambda k: rows[k]["seconds"]),
+    }
+
+
+@pytest.mark.benchmark(group="backends")
+def test_bench_backends(benchmark, report):
+    row = benchmark.pedantic(compute_backend_matrix, rounds=1, iterations=1)
+    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
+    table = [
+        [
+            name,
+            row["backends"][name]["seconds"],
+            row["backends"][name]["speedup_vs_serial"],
+            row["backends"][name]["identical_to_serial"],
+        ]
+        for name in (*BACKEND_NAMES, "sharded-fold")
+    ]
+    report(
+        render_table(
+            ["backend", "seconds", "speedup vs serial", "identical"],
+            table,
+            title=(
+                f"BENCH-BACKENDS: Figure-5 protocol cell (n={N}, optimal "
+                f"split attack, {TRIALS} trials, workers={WORKERS}, "
+                f"cpus={row['cpu_count']})\n"
+                f"wrote {ARTIFACT.name}; results must be bit-identical on "
+                "every backend"
+            ),
+        )
+    )
+    # The seam's hard guarantee: identical results everywhere, always —
+    # including the sharded merge fan-in's accumulator.
+    for name in (*BACKEND_NAMES, "sharded-fold"):
+        assert row["backends"][name]["identical_to_serial"], name
+    # Protocol-level claim: equivocation detection keeps agreement intact.
+    assert row["violations"] == 0
+    # The scaling claim needs hardware to scale onto: with 2+ cores the
+    # process-based backends must beat serial on this CPU-bound cell.
+    if row["cpu_count"] >= 2 and WORKERS >= 2:
+        process_best = min(
+            row["backends"]["pool"]["seconds"],
+            row["backends"]["sharded"]["seconds"],
+        )
+        assert process_best < row["backends"]["serial"]["seconds"]

@@ -8,8 +8,10 @@ Commands:
 * ``figures``  — print the analytic Figure 1b / Figure 5 series;
 * ``smr``      — run a multi-slot replicated counter;
 * ``sweep``    — run a named scenario matrix (protocols × adversaries ×
-  latency models) through the parallel experiment engine and print a table
-  or JSON report;
+  latency models) through the parallel experiment engine — on any execution
+  backend (``--backend serial|pool|async|sharded``, ``--workers auto`` for
+  the core count; results are bit-identical across all of them) — and print
+  a table or JSON report;
 * ``plot``     — render Figure-5 style plots (metric vs system size) from
   one or more ``sweep --json`` reports (requires matplotlib).
 """
@@ -138,13 +140,20 @@ def cmd_smr(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from .harness.backends import resolve_workers
+    from .harness.parallel import ExperimentEngine
     from .harness.registry import get_matrix, list_matrices, run_matrix
 
     if args.trials is not None and args.trials < 1:
         print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
         return 2
-    if args.workers < 0:
-        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if workers < 0:
+        print(f"--workers must be >= 0, got {workers}", file=sys.stderr)
         return 2
     if (
         args.matrix_opt is not None
@@ -171,16 +180,25 @@ def cmd_sweep(args) -> int:
         matrix = matrix.with_size(
             args.n if args.n is not None else matrix.n, args.f
         )
-    report = run_matrix(
-        matrix,
-        trials=args.trials,
-        master_seed=args.seed,
-        workers=args.workers,
-        max_time=args.max_time,
-    )
+    # Build the engine here so the report's execution metadata reflects what
+    # actually ran (an explicit concurrent backend without --workers
+    # saturates the cores — the resolved count lives on the backend).
+    with ExperimentEngine(workers=workers, backend=args.backend) as engine:
+        backend_name = engine.backend_name
+        effective_workers = engine.workers
+        report = run_matrix(
+            matrix,
+            trials=args.trials,
+            master_seed=args.seed,
+            engine=engine,
+            max_time=args.max_time,
+        )
     if args.json:
         # NaN (e.g. mean decision time when nothing decided) is not valid
-        # JSON; emit null so strict parsers accept the report.
+        # JSON; emit null so strict parsers accept the report.  Execution
+        # metadata (backend/workers) is a separate key so consumers
+        # comparing *results* across backends can diff "matrix"+"rows"
+        # directly — those are bit-identical for every backend.
         rows = [
             {
                 k: (None if isinstance(v, float) and math.isnan(v) else v)
@@ -196,7 +214,8 @@ def cmd_sweep(args) -> int:
                     "f": matrix.resolved_f(),
                     "trials": report.trials,
                     "master_seed": report.master_seed,
-                    "workers": args.workers,
+                    "workers": effective_workers,
+                    "backend": backend_name,
                     "rows": rows,
                 },
                 indent=2,
@@ -216,7 +235,7 @@ def cmd_sweep(args) -> int:
                         else "per-cell budget trials"
                     )
                     + f", master seed {report.master_seed}, "
-                    f"workers={args.workers}"
+                    f"workers={effective_workers}, backend={backend_name}"
                 ),
             )
         )
@@ -248,6 +267,14 @@ def cmd_plot(args) -> int:
     points = sum(len(s.x) for s in series)
     print(f"wrote {path}: {len(series)} series, {points} points")
     return 0
+
+
+def _backend_choices() -> List[str]:
+    """``--backend`` choices straight from the backend registry, so a newly
+    registered backend is immediately reachable from the CLI."""
+    from .harness.backends import list_backends
+
+    return list_backends()
 
 
 def _matrices_epilog() -> str:
@@ -330,9 +357,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--workers",
-        type=int,
-        default=0,
-        help="process-pool size; 0/1 = in-process serial (same results)",
+        default="0",
+        metavar="N|auto",
+        help=(
+            "worker count; 0/1 = in-process serial, 'auto' = the machine's "
+            "core count (results are identical for every value)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--backend",
+        choices=_backend_choices(),
+        default=None,
+        help=(
+            "execution backend (default: serial for --workers<=1, process "
+            "pool otherwise); purely a performance choice — reports are "
+            "bit-identical across backends"
+        ),
     )
     p_sweep.add_argument("--seed", type=int, default=0, help="master seed")
     p_sweep.add_argument("--n", type=int, default=None, help="override system size")

@@ -64,9 +64,12 @@ class CryptoContext:
 
         The pool shares what is safe to share indefinitely: the immutable
         :class:`KeyRegistry` (skipping the ``n`` key-pair re-derivation) and
-        a :class:`MemoizedVRF` whose cache is *value*-keyed (sampler-key
-        bytes → sample tuple), so same-seed trials reuse each other's
-        shuffle expansions.  The signature scheme, whose memo is keyed by
+        a :class:`MemoizedVRF` whose caches are *value*-keyed — sampler-key
+        bytes → sample tuple for verification, and ``(replica, seed, s)`` →
+        proven output for the honest prove path — so same-seed trials reuse
+        each other's shuffle expansions *and* a replica's recurring per-view
+        sampler keys are proven once per pool entry (the adversary's
+        explicit-key ``prove_with`` path is never cached).  The signature scheme, whose memo is keyed by
         envelope *identity* and therefore pins envelope object graphs
         alive, is created fresh per call — its big win is within one
         deployment (each broadcast verified by up to ``n`` receivers), and

@@ -157,15 +157,26 @@ class VRF:
 
 
 class MemoizedVRF(VRF):
-    """A :class:`VRF` that memoizes the sampler-key → sample shuffle.
+    """A :class:`VRF` that memoizes the shuffle *and* honest proving.
 
-    ``_sample_from_key`` is a pure function of ``(key, n, s)``, and every
-    receiver verifying the same vote replays the same shuffle — so within one
-    deployment each distinct sampler key is expanded up to ``n`` times, and
-    across pooled trials of the same ``(n, master_seed)`` the honest provers'
-    keys recur exactly.  The cache is keyed by the full ``(key, s)`` input
-    (``n`` is fixed per VRF), so memoized and fresh VRFs are bit-identical
-    by construction.
+    Two caches, both over pure functions, so memoized and fresh VRFs are
+    bit-identical by construction:
+
+    * **sample memo** — ``_sample_from_key`` is a pure function of
+      ``(key, n, s)``, and every receiver verifying the same vote replays
+      the same shuffle; within one deployment each distinct sampler key is
+      expanded up to ``n`` times, and across pooled trials of the same
+      ``(n, master_seed)`` the honest provers' keys recur exactly.  Keyed
+      by the full ``(key, s)`` input (``n`` is fixed per VRF).
+    * **prove memo** — :meth:`prove` through the registry's own key is a
+      pure function of ``(replica, seed, s)`` (the registry is immutable),
+      and the per-view sampler seeds (``phase_seed(view, tag)``) recur
+      every time a same-``(n, master_seed)`` deployment is rebuilt — so a
+      replica's recurring per-view keys are *proven once* per pool entry
+      instead of re-hashing and re-shuffling per trial.  Only the honest
+      registry path is memoized: :meth:`prove_with` (explicit keys — the
+      adversary's corrupted-key and forgery path) always computes from
+      scratch, since its key need not match the registry's.
     """
 
     def __init__(self, registry: KeyRegistry, max_entries: int = 8192) -> None:
@@ -175,9 +186,14 @@ class MemoizedVRF(VRF):
         self._cache: "OrderedDict[Tuple[bytes, int], Tuple[ReplicaId, ...]]" = (
             OrderedDict()
         )
+        self._prove_cache: "OrderedDict[Tuple[ReplicaId, str, int], VRFOutput]" = (
+            OrderedDict()
+        )
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.prove_hits = 0
+        self.prove_misses = 0
 
     def _sample(self, key: bytes, s: int) -> Tuple[ReplicaId, ...]:
         cache_key = (key, s)
@@ -191,6 +207,19 @@ class MemoizedVRF(VRF):
         if len(self._cache) > self._max_entries:
             self._cache.popitem(last=False)
         return sample
+
+    def prove(self, replica: ReplicaId, seed: str, s: int) -> VRFOutput:
+        cache_key = (replica, seed, s)
+        output = self._prove_cache.get(cache_key)
+        if output is not None:
+            self.prove_hits += 1
+            return output
+        output = super().prove(replica, seed, s)
+        self.prove_misses += 1
+        self._prove_cache[cache_key] = output
+        if len(self._prove_cache) > self._max_entries:
+            self._prove_cache.popitem(last=False)
+        return output
 
 
 def phase_seed(view: int, phase_tag: str, domain: str = "") -> str:

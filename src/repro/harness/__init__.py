@@ -15,6 +15,9 @@
 * :mod:`repro.harness.parallel` — the parallel Monte-Carlo experiment
   engine (:class:`ExperimentEngine`), including the streaming
   ``stream``/``run_stream`` path.
+* :mod:`repro.harness.backends` — the pluggable **execution backends**
+  behind the engine: serial, process pool, asyncio, and sharded execution
+  behind one ``Backend`` seam (``map``/``stream``/``close``).
 * :mod:`repro.harness.registry` — the scenario registry (string-addressable
   builders) and :class:`ScenarioMatrix` (protocols × adversaries × latency
   cross products, with per-cell trial budgets).
@@ -68,9 +71,46 @@ From the command line, ``python -m repro sweep [matrix] --trials T
 :data:`repro.harness.registry.MATRICES`, or ``repro sweep --help`` for the
 annotated list) and prints a per-cell table, or JSON with ``--json``;
 omitting ``--trials`` applies the matrix's per-cell trial budgets.
+``--workers auto`` resolves to the machine's core count, and ``--backend
+{serial,pool,async,sharded}`` picks the execution backend.
 ``python -m repro plot report.json ... -o fig5.png`` renders Figure-5
 style curves from those JSON reports (cost metrics like ``mean_messages``
 and ``mean_bytes`` plot with stderr error bars).
+
+Choosing an execution backend
+-----------------------------
+
+Every surface above takes ``backend=`` (a name or a constructed
+:class:`~repro.harness.backends.base.Backend`); the choice moves only
+wall-clock, never results:
+
+* ``serial`` (default for ``workers <= 1``) — in-process, no pickling,
+  pdb/coverage-friendly; the reference implementation and the right tool
+  for debugging and tiny runs.
+* ``pool`` (default for ``workers > 1``) — a ``multiprocessing`` pool;
+  the workhorse for CPU-bound protocol trials, ~linear in cores when each
+  trial is ≫ the per-chunk IPC cost.  Trial functions must be picklable.
+  Happy-path shutdown is graceful (in-flight chunks finish; worker atexit/
+  coverage hooks run); only error paths and GC hard-terminate.
+* ``async`` — an in-process event loop over a small thread pool.  No
+  pickling requirement (closures welcome), overlaps one trial's
+  ``build()`` crypto warm-up with others' ``execute()``; it wins when
+  trials release the GIL (NumPy, hashing, future I/O-bound sources) and
+  is the concurrent option for objects that cannot cross process
+  boundaries.
+* ``sharded`` — batches the spec range into deterministic seed shards
+  fanned over an inner backend (pool by default), one dispatch per shard
+  instead of per trial; the tool for *very cheap, very many* trials
+  (sampling-level Monte-Carlo) where per-trial IPC would dominate, and
+  for constant-memory fan-in via per-shard accumulator merging
+  (:meth:`ShardedBackend.map_reduce
+  <repro.harness.backends.sharded.ShardedBackend.map_reduce>` +
+  ``Welford.merge``/``StreamingProportion.merge``).  Its shard/merge
+  shape is the seam future multi-host execution plugs into.
+
+Whatever the backend, results are **bit-identical** (pinned by
+``tests/test_backends.py``): seeds are counter-derived per trial and
+collection is submission-ordered, so scheduling never leaks into results.
 
 Adversary dispatch and cost columns
 -----------------------------------
@@ -152,6 +192,17 @@ from .metrics import (
     StreamingProportion,
     Welford,
 )
+from .backends import (
+    AsyncioBackend,
+    Backend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    backend_from_env,
+    list_backends,
+    make_backend,
+    resolve_workers,
+)
 from .parallel import (
     ExperimentEngine,
     TrialError,
@@ -206,6 +257,15 @@ __all__ = [
     "derive_seed",
     "spawn_seeds",
     "workers_from_env",
+    "AsyncioBackend",
+    "Backend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardedBackend",
+    "backend_from_env",
+    "list_backends",
+    "make_backend",
+    "resolve_workers",
     "MATRICES",
     "CellAccumulator",
     "MatrixReport",

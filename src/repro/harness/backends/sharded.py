@@ -1,0 +1,230 @@
+"""Sharded execution: deterministic seed shards over an inner backend.
+
+:class:`ShardedBackend` partitions a spec range into contiguous **shards**
+and ships each shard as *one* task on an inner backend (a process pool by
+default, serial for debugging).  Two scaling effects follow:
+
+* **amortized dispatch** — one IPC round-trip moves a whole shard instead
+  of one trial, so very cheap trials (sampling-level Monte-Carlo at 10⁵+
+  trials) stop paying per-trial pickling;
+* **constant-memory fan-in** — :meth:`map_reduce` folds each shard into an
+  accumulator *inside the worker* and sends back only the accumulator;
+  the parent merges per-shard accumulators (:meth:`Welford.merge
+  <repro.harness.metrics.Welford.merge>` / :meth:`StreamingProportion.merge
+  <repro.harness.metrics.StreamingProportion.merge>`) in shard order, so a
+  10⁵-trial cell crosses the process boundary as a handful of floats.
+
+Determinism: shard boundaries are a pure function of the spec count and the
+configured shard size — never of timing — and every trial's seed is already
+carried by its spec (counter-derived, shard-order-independent), so a trial
+computes the same result in any shard of any backend.  Results are
+reassembled in shard order == submission order, keeping the seam's
+bit-identity contract.  This shard/merge shape is deliberately the seam
+future distributed multi-host execution plugs into: a "shard" is exactly
+what one remote worker would receive.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from .base import Backend, Outcome, TrialSpec, execute_outcome, resolve_workers
+from .pool import ProcessPoolBackend
+from .serial import SerialBackend
+
+__all__ = ["ShardedBackend"]
+
+#: Shard size when the spec count is unknown (lazy generators): large enough
+#: to amortize dispatch, small enough that results keep streaming back.
+DEFAULT_SHARD_SIZE = 32
+
+#: With a known total, aim for this many shards per inner worker so small
+#: ranges still spread across every worker while big ranges stay chunky.
+SHARDS_PER_WORKER = 4
+
+
+def _run_shard(fn: Callable[[TrialSpec], Any], spec: TrialSpec) -> List[Outcome]:
+    """Execute one shard's specs in-worker; every outcome travels back."""
+    return [execute_outcome(fn, s) for s in spec.params]
+
+
+def _run_shard_fold(
+    fn: Callable[[TrialSpec], Any],
+    factory: Callable[[], Any],
+    fold: Callable[[Any, Any], None],
+    spec: TrialSpec,
+) -> Tuple[Any, Optional[Outcome]]:
+    """Execute one shard and fold it locally; only the accumulator returns.
+
+    Stops at the shard's first failing trial, returning the partial
+    accumulator plus the failing outcome (the parent re-raises it at the
+    right submission-order position).
+    """
+    acc = factory()
+    for s in spec.params:
+        outcome = execute_outcome(fn, s)
+        if outcome.error is not None:
+            return acc, outcome
+        fold(acc, outcome.value)
+    return acc, None
+
+
+class ShardedBackend(Backend):
+    """Batch specs into deterministic shards fanned over an inner backend.
+
+    ``inner`` defaults to a :class:`ProcessPoolBackend` with ``workers``
+    processes (a :class:`SerialBackend` when ``workers <= 1`` — sharding
+    then only exercises the batching path, handy for debugging).  Trial
+    functions must satisfy the *inner* backend's requirements (picklable
+    for a pool).  ``shard_size`` pins the partition explicitly; by default
+    it derives from the spec count (≈``SHARDS_PER_WORKER`` shards per inner
+    worker, capped by ``DEFAULT_SHARD_SIZE``) — a pure function of the
+    count, so the partition is reproducible run to run.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        shard_size: Optional[int] = None,
+        inner: Optional[Backend] = None,
+    ) -> None:
+        workers = resolve_workers(workers)
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if inner is None:
+            inner = (
+                ProcessPoolBackend(workers=workers)
+                if workers > 1
+                else SerialBackend()
+            )
+        self.inner = inner
+        self.shard_size = shard_size
+        self.workers = max(1, workers)
+
+    @property
+    def parallel(self) -> bool:
+        return self.inner.parallel
+
+    def _shard_size_for(self, count: Optional[int]) -> int:
+        if self.shard_size is not None:
+            return self.shard_size
+        if count is not None:
+            return max(
+                1,
+                min(
+                    DEFAULT_SHARD_SIZE,
+                    math.ceil(count / (self.workers * SHARDS_PER_WORKER)),
+                ),
+            )
+        return DEFAULT_SHARD_SIZE
+
+    def _shards(
+        self, specs: Iterable[TrialSpec], count: Optional[int]
+    ) -> Iterator[TrialSpec]:
+        """Contiguous shards as specs-of-specs (lazy; never materializes all).
+
+        The shard spec's ``index`` is the shard ordinal and its ``seed`` the
+        first member's seed, so a shard-level failure still reports a useful
+        identity.
+        """
+        size = self._shard_size_for(count)
+        spec_iter = iter(specs)
+        for ordinal in itertools.count():
+            batch = tuple(itertools.islice(spec_iter, size))
+            if not batch:
+                return
+            yield TrialSpec(index=ordinal, seed=batch[0].seed, params=batch)
+
+    def stream(
+        self,
+        fn: Callable[[TrialSpec], Any],
+        specs: Iterable[TrialSpec],
+        count: Optional[int] = None,
+    ) -> Iterator[Any]:
+        shards = self._shards(specs, count)
+        shard_count = (
+            None
+            if count is None
+            else math.ceil(count / self._shard_size_for(count))
+        )
+        runner = _ShardTask(fn)
+        for outcomes in self.inner.stream(runner, shards, count=shard_count):
+            for outcome in outcomes:
+                yield outcome.unwrap()
+
+    def map_reduce(
+        self,
+        fn: Callable[[TrialSpec], Any],
+        specs: Iterable[TrialSpec],
+        factory: Callable[[], Any],
+        fold: Callable[[Any, Any], None],
+        count: Optional[int] = None,
+    ) -> Any:
+        """Fold every trial into one accumulator, shard-locally.
+
+        ``factory`` builds an empty accumulator exposing ``merge(other)``;
+        ``fold(acc, value)`` ingests one trial result.  Each shard folds in
+        its worker and ships back only the accumulator; the parent merges in
+        shard order, so the fold order seen by each accumulator equals
+        submission order.  The first failing trial (submission order) raises
+        :class:`~repro.harness.backends.base.TrialError`, exactly like
+        :meth:`map`.  With a pool inner backend, ``fn``/``factory``/``fold``
+        and the accumulator must be picklable.
+        """
+        shards = self._shards(specs, count)
+        shard_count = (
+            None
+            if count is None
+            else math.ceil(count / self._shard_size_for(count))
+        )
+        runner = _ShardFoldTask(fn, factory, fold)
+        merged = factory()
+        for acc, error in self.inner.stream(runner, shards, count=shard_count):
+            if error is not None:
+                error.unwrap()
+            merged.merge(acc)
+        return merged
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def abort(self) -> None:
+        """Hard teardown for error paths: kill the inner backend's workers
+        (falling back to ``close`` for inner backends with nothing to kill)
+        instead of draining every remaining shard."""
+        abort = getattr(self.inner, "abort", None)
+        if abort is not None:
+            abort()
+        else:
+            self.inner.close()
+
+
+class _ShardTask:
+    """Picklable adapter binding the trial function to :func:`_run_shard`."""
+
+    def __init__(self, fn: Callable[[TrialSpec], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, spec: TrialSpec) -> List[Outcome]:
+        return _run_shard(self.fn, spec)
+
+
+class _ShardFoldTask:
+    """Picklable adapter binding (fn, factory, fold) to :func:`_run_shard_fold`."""
+
+    def __init__(
+        self,
+        fn: Callable[[TrialSpec], Any],
+        factory: Callable[[], Any],
+        fold: Callable[[Any, Any], None],
+    ) -> None:
+        self.fn = fn
+        self.factory = factory
+        self.fold = fold
+
+    def __call__(self, spec: TrialSpec) -> Tuple[Any, Optional[Outcome]]:
+        return _run_shard_fold(self.fn, self.factory, self.fold, spec)

@@ -14,6 +14,17 @@ left-fold float path as ``mean(list)``), so a streamed mean over trials in
 submission order is **bit-identical** to the materialized computation; the
 Welford-style ``M2`` recurrence adds variance/CI on top without a second
 pass.
+
+Both streaming accumulators additionally support **merging**
+(:meth:`Welford.merge`, :meth:`StreamingProportion.merge`): shard-local
+accumulators built over a partition of the observations combine into the
+whole-stream aggregate — the fan-in operation sharded execution
+(:class:`~repro.harness.backends.sharded.ShardedBackend`) and future
+distributed workers rely on.  Counts and proportion merges are exact;
+merged float sums (``total``/``M2``) equal the streamed values up to float
+associativity — bit-identical whenever the observations are exactly
+representable (booleans, counts, unit-latency times), and within rounding
+otherwise.
 """
 
 from __future__ import annotations
@@ -93,6 +104,36 @@ class Welford:
             self.add(value)
         return self
 
+    def merge(self, other: "Welford") -> "Welford":
+        """Fold another accumulator's observations into this one, in place.
+
+        Chan et al.'s parallel-variance combine: after ``a.merge(b)``, ``a``
+        aggregates the concatenation of both observation streams.  Used as
+        the shard fan-in by :class:`~repro.harness.backends.sharded.
+        ShardedBackend`: per-shard accumulators merged in shard order
+        reproduce the submission-order stream.  ``count`` is exact;
+        ``total``/``M2`` are float sums and therefore equal the streamed
+        values up to float associativity (exactly, for exactly-representable
+        observations).
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self._m2 = other._m2
+            return self
+        delta = other.mean - self.mean
+        combined = self.count + other.count
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * (self.count * other.count) / combined
+        )
+        self.count = combined
+        self.total += other.total
+        return self
+
     @property
     def mean(self) -> float:
         """Running mean; NaN for an empty accumulator (matches :func:`mean`)."""
@@ -145,6 +186,12 @@ class StreamingProportion:
         self.trials += 1
         if success:
             self.successes += 1
+
+    def merge(self, other: "StreamingProportion") -> "StreamingProportion":
+        """Fold another counter's observations into this one (exact)."""
+        self.successes += other.successes
+        self.trials += other.trials
+        return self
 
     @property
     def point(self) -> float:

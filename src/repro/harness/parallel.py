@@ -1,145 +1,80 @@
-"""Parallel Monte-Carlo experiment engine.
+"""Parallel Monte-Carlo experiment engine, layered on pluggable backends.
 
 The Figure-5 experiments are embarrassingly parallel: every trial is an
 independent function of its own seed.  :class:`ExperimentEngine` exploits
-that by fanning ``(index, seed, params)`` trial specs across a
-``multiprocessing`` pool while keeping one hard guarantee:
+that by fanning ``(index, seed, params)`` trial specs across an
+**execution backend** (:mod:`repro.harness.backends`) while keeping one
+hard guarantee:
 
-**serial and parallel execution produce bit-identical results.**
+**every backend and every worker count produces bit-identical results.**
 
 Two mechanisms make that hold:
 
 * *counter-based seed splitting* — every trial's seed is derived from the
   master seed and the trial index alone (`derive_seed`, a SplitMix64-style
   integer mix with no :mod:`random`/:mod:`numpy` state involved), so a
-  trial's randomness never depends on which process runs it or in which
-  order trials complete;
+  trial's randomness never depends on which process/thread/shard runs it or
+  in which order trials complete;
 * *submission-order collection* — :meth:`ExperimentEngine.map` returns
   results in the order the specs were submitted regardless of completion
   order, so even order-sensitive aggregation (e.g. float summation) is
   reproducible.
 
-``workers <= 1`` selects an in-process serial path (no pool, no pickling)
-that runs the exact same per-trial computation — handy for debugging with
-pdb or coverage.  Trial functions given to the parallel path must be
-picklable: module-level functions, ``functools.partial`` of module-level
-functions, or picklable callables.
+Backend selection (see the guide in :mod:`repro.harness`):
+
+* ``workers <= 1`` (default) — :class:`SerialBackend
+  <repro.harness.backends.serial.SerialBackend>`: in-process, no pickling,
+  pdb/coverage-friendly;
+* ``workers > 1`` — :class:`ProcessPoolBackend
+  <repro.harness.backends.pool.ProcessPoolBackend>`: the CPU-scaling
+  default (trial functions must be picklable);
+* ``backend="async"`` / ``backend="sharded"`` (or a constructed
+  :class:`~repro.harness.backends.base.Backend` instance) — explicit
+  strategies for overlap-bound and dispatch-bound workloads.
 """
 
 from __future__ import annotations
 
-import functools
-import math
-import multiprocessing
-import multiprocessing.pool
-import os
-import traceback
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+import contextlib
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Union
+
+from .backends import (
+    Backend,
+    Outcome,
+    STREAM_CHUNK,
+    TrialError,
+    TrialSpec,
+    backend_from_env,
+    derive_seed,
+    execute_outcome,
+    make_backend,
+    resolve_workers,
+    spawn_seeds,
+    workers_from_env,
+)
 
 __all__ = [
+    "Backend",
     "ExperimentEngine",
     "TrialError",
     "TrialSpec",
+    "backend_from_env",
     "derive_seed",
+    "engine_scope",
+    "make_backend",
+    "resolve_engine",
+    "resolve_workers",
     "spawn_seeds",
     "workers_from_env",
 ]
 
-#: Pool chunk size for streaming maps, where the spec count may be unknown
-#: (lazy generators): large enough to amortize IPC, small enough that
-#: results flow back steadily for online aggregation.
-STREAM_CHUNK = 16
-
-
-def workers_from_env(var: str = "REPRO_WORKERS", default: int = 0) -> int:
-    """Worker count from an environment variable; invalid values mean default.
-
-    Shared by the benchmarks (``REPRO_BENCH_WORKERS``) so the parsing rule
-    lives in one place: a non-integer or negative value falls back to
-    ``default`` rather than crashing at import time.
-    """
-    raw = os.environ.get(var)
-    if raw is None:
-        return default
-    try:
-        workers = int(raw)
-    except ValueError:
-        return default
-    return workers if workers >= 0 else default
-
-_MASK64 = (1 << 64) - 1
-_GOLDEN = 0x9E3779B97F4A7C15
-
-
-def _splitmix64(z: int) -> int:
-    """One SplitMix64 output step (Steele, Lea & Flood 2014)."""
-    z &= _MASK64
-    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return (z ^ (z >> 31)) & _MASK64
-
-
-def derive_seed(master_seed: int, index: int) -> int:
-    """Deterministic child seed for trial ``index`` under ``master_seed``.
-
-    A pure integer function (no RNG state), so any worker can compute any
-    trial's seed independently.  Distinct indices under one master seed give
-    statistically independent streams when fed to ``numpy`` /
-    :class:`random.Random` as seeds.
-    """
-    if index < 0:
-        raise ValueError(f"trial index must be >= 0, got {index}")
-    z = _splitmix64((master_seed & _MASK64) + _GOLDEN)
-    return _splitmix64(z + (index + 1) * _GOLDEN)
-
-
-def spawn_seeds(master_seed: int, count: int) -> List[int]:
-    """The first ``count`` child seeds of ``master_seed``, in index order."""
-    return [derive_seed(master_seed, i) for i in range(count)]
-
-
-@dataclass(frozen=True)
-class TrialSpec:
-    """One unit of work: a trial index, its derived seed, and shared params."""
-
-    index: int
-    seed: int
-    params: Any = None
-
-
-class TrialError(RuntimeError):
-    """A trial function raised; carries the failing trial's identity."""
-
-    def __init__(self, index: int, seed: int, detail: str) -> None:
-        super().__init__(f"trial {index} (seed {seed}) failed:\n{detail}")
-        self.index = index
-        self.seed = seed
-        self.detail = detail
-
-
-@dataclass
-class _Outcome:
-    """What crosses the process boundary: a value or a stringified failure."""
-
-    index: int
-    seed: int
-    value: Any = None
-    error: Optional[str] = None
-
-
-def _execute(fn: Callable[[TrialSpec], Any], spec: TrialSpec) -> _Outcome:
-    """Run one trial, capturing any exception as data (always picklable)."""
-    try:
-        return _Outcome(index=spec.index, seed=spec.seed, value=fn(spec))
-    except Exception:
-        return _Outcome(
-            index=spec.index, seed=spec.seed, error=traceback.format_exc()
-        )
+# Backwards-compatible private aliases (pre-backend-seam names).
+_Outcome = Outcome
+_execute = execute_outcome
 
 
 class ExperimentEngine:
-    """Fans independent trials across processes, deterministically.
+    """Fans independent trials across an execution backend, deterministically.
 
     Example:
         >>> from repro.harness.parallel import ExperimentEngine, TrialSpec
@@ -150,24 +85,71 @@ class ExperimentEngine:
     ``workers``:
         * ``0`` or ``1`` — in-process serial execution (identical results);
         * ``k > 1``      — a pool of ``k`` processes (``k`` may exceed the
-          core count; the OS just time-slices).
+          core count; the OS just time-slices);
+        * ``"auto"``     — the machine's core count.
 
-    ``chunk_size`` controls how many specs each pool task carries; the
-    default amortizes IPC overhead at roughly four chunks per worker.
+    ``backend`` overrides the worker-count default: a registry name
+    (``"serial"``/``"pool"``/``"async"``/``"sharded"``) or a constructed
+    :class:`~repro.harness.backends.base.Backend` instance (which the
+    engine then owns and closes).  ``chunk_size`` controls how many specs
+    each pool task (or shard) carries; the default amortizes IPC overhead
+    at roughly four chunks per worker.
     """
 
-    def __init__(self, workers: int = 0, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Union[int, str] = 0,
+        chunk_size: Optional[int] = None,
+        backend: Optional[Union[str, Backend]] = None,
+    ) -> None:
+        workers = resolve_workers(workers)
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        self.workers = workers
         self.chunk_size = chunk_size
-        self._pool: Optional["multiprocessing.pool.Pool"] = None
+        if isinstance(backend, Backend):
+            # A constructed instance is authoritative: its own configuration
+            # wins, and ``workers`` below reflects what actually executes
+            # (``workers=``/``chunk_size=`` arguments are not re-applied).
+            self._backend = backend
+        else:
+            self._backend = make_backend(
+                backend, workers=workers, chunk_size=chunk_size
+            )
+        #: The concurrency that actually executes — read from the backend
+        #: (an explicitly concurrent backend may have auto-resolved to the
+        #: core count).  A serial backend carries no worker count: a
+        #: caller-constructed one reports 0 regardless of the ``workers``
+        #: argument (which it ignores); the name/default path reports the
+        #: requested 0/1.
+        self.workers = getattr(
+            self._backend,
+            "workers",
+            0 if isinstance(backend, Backend) else workers,
+        )
+
+    @property
+    def backend(self) -> Backend:
+        """The execution backend this engine delegates to."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
 
     @property
     def parallel(self) -> bool:
-        return self.workers > 1
+        return self._backend.parallel
+
+    @property
+    def _pool(self):
+        """The pool backend's raw ``multiprocessing.Pool`` (None otherwise).
+
+        Kept for observability (tests assert pool reuse across calls); new
+        code should treat the backend as opaque.
+        """
+        return getattr(self._backend, "_pool", None)
 
     # ------------------------------------------------------------------
     # Mapping
@@ -180,57 +162,44 @@ class ExperimentEngine:
         """Evaluate ``fn`` on every spec; results in submission order.
 
         The first failing trial (in submission order) raises
-        :class:`TrialError` with the worker's traceback, whether the trial
-        ran in-process or in a pool.
+        :class:`TrialError` with the worker's traceback, whichever backend
+        ran it.  The serial backend additionally fails fast (nothing after
+        the failing trial runs) and chains the original exception as
+        ``__cause__``.
         """
-        specs = list(specs)
-        if not specs:
-            return []
-        if self.parallel:
-            outcomes = self._map_pool(fn, specs)
-        else:
-            # Serial path fails fast: nothing after the first failing trial
-            # runs (the pool path necessarily completes in-flight chunks),
-            # and the original exception stays reachable via __cause__.
-            outcomes = []
-            for spec in specs:
-                try:
-                    value = fn(spec)
-                except Exception as exc:
-                    raise TrialError(
-                        spec.index, spec.seed, traceback.format_exc()
-                    ) from exc
-                outcomes.append(
-                    _Outcome(index=spec.index, seed=spec.seed, value=value)
-                )
-        results: List[Any] = []
-        for outcome in outcomes:
-            if outcome.error is not None:
-                raise TrialError(outcome.index, outcome.seed, outcome.error)
-            results.append(outcome.value)
-        return results
-
-    def _get_pool(self) -> "multiprocessing.pool.Pool":
-        if self._pool is None:
-            self._pool = multiprocessing.Pool(processes=self.workers)
-        return self._pool
+        return self._backend.map(fn, specs)
 
     def close(self) -> None:
-        """Tear down the worker pool (a later map() transparently re-creates it)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Release the backend's execution resources, gracefully.
+
+        In-flight work finishes and pool workers exit through their normal
+        shutdown path (``atexit``/coverage hooks run); a later ``map()``
+        transparently re-acquires resources.
+        """
+        self._backend.close()
+
+    def abort(self) -> None:
+        """Hard teardown for error paths: abandoned in-flight work is not
+        waited for (pool workers are terminated).  Falls back to
+        :meth:`close` on backends with nothing to kill."""
+        abort = getattr(self._backend, "abort", None)
+        if abort is not None:
+            abort()
+        else:
+            self._backend.close()
 
     def __enter__(self) -> "ExperimentEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
-            self.close()
+            self.abort()
         except Exception:
             pass
 
@@ -251,50 +220,11 @@ class ExperimentEngine:
         materialized — a consumer folding them into O(1) accumulators runs a
         10⁵-trial experiment in constant memory at the aggregation layer.
         ``specs`` may itself be a lazy generator; pass ``count`` when the
-        total is known so small parallel streams still spread across all
-        workers (without it, pooled chunking falls back to
-        :data:`STREAM_CHUNK`).
-
-        Serial execution is fully lazy (a trial runs only when its result is
-        pulled).  Pooled execution keeps ``workers`` processes busy ahead of
-        the consumer via ``Pool.imap``; out-of-order completions buffer
-        internally only until their submission-order turn comes.
+        total is known so batching backends size their chunks/shards to
+        spread small streams across all workers (without it, they fall back
+        to :data:`~repro.harness.backends.base.STREAM_CHUNK`-sized batches).
         """
-        if self.parallel:
-            return self._stream_pool(fn, specs, count)
-        return self._stream_serial(fn, specs)
-
-    def _stream_serial(
-        self, fn: Callable[[TrialSpec], Any], specs: Iterable[TrialSpec]
-    ) -> Iterator[Any]:
-        for spec in specs:
-            try:
-                yield fn(spec)
-            except Exception as exc:
-                raise TrialError(
-                    spec.index, spec.seed, traceback.format_exc()
-                ) from exc
-
-    def _stream_pool(
-        self,
-        fn: Callable[[TrialSpec], Any],
-        specs: Iterable[TrialSpec],
-        count: Optional[int] = None,
-    ) -> Iterator[Any]:
-        # With a known total, chunk like map() (≈4 chunks/worker) so tiny
-        # streams parallelize; STREAM_CHUNK caps chunks for huge streams so
-        # results keep flowing back to the online aggregator.
-        if self.chunk_size is not None:
-            chunk = self.chunk_size
-        elif count is not None:
-            chunk = max(1, min(STREAM_CHUNK, math.ceil(count / (self.workers * 4))))
-        else:
-            chunk = STREAM_CHUNK
-        worker = functools.partial(_execute, fn)
-        for outcome in self._get_pool().imap(worker, specs, chunksize=chunk):
-            if outcome.error is not None:
-                raise TrialError(outcome.index, outcome.seed, outcome.error)
-            yield outcome.value
+        return self._backend.stream(fn, specs, count=count)
 
     def run_stream(
         self,
@@ -316,19 +246,7 @@ class ExperimentEngine:
             TrialSpec(index=i, seed=derive_seed(master_seed, i), params=params)
             for i in range(trials)
         )
-        return self.stream(fn, specs)
-
-    def _map_pool(
-        self, fn: Callable[[TrialSpec], Any], specs: Sequence[TrialSpec]
-    ) -> List[_Outcome]:
-        chunk = self.chunk_size or max(
-            1, math.ceil(len(specs) / (self.workers * 4))
-        )
-        worker = functools.partial(_execute, fn)
-        # Pool.map preserves input order, so no re-sorting is needed.  The
-        # pool persists across map() calls, so a shared engine amortizes
-        # process startup over a whole experiment series.
-        return self._get_pool().map(worker, specs, chunksize=chunk)
+        return self.stream(fn, specs, count=trials)
 
     # ------------------------------------------------------------------
     # Trial fan-out
@@ -355,9 +273,42 @@ class ExperimentEngine:
 
 
 def resolve_engine(
-    engine: Optional[ExperimentEngine], workers: int
+    engine: Optional[ExperimentEngine],
+    workers: Union[int, str],
+    backend: Optional[Union[str, Backend]] = None,
 ) -> ExperimentEngine:
-    """The caller's engine if given, else a fresh one with ``workers``."""
+    """The caller's engine if given, else a fresh one with ``workers``.
+
+    ``backend`` (a registry name or instance) overrides the worker-count
+    default for the fresh-engine case; a caller-supplied engine always wins.
+    """
     if engine is not None:
         return engine
-    return ExperimentEngine(workers=workers)
+    return ExperimentEngine(workers=workers, backend=backend)
+
+
+@contextlib.contextmanager
+def engine_scope(
+    engine: Optional[ExperimentEngine],
+    workers: Union[int, str],
+    backend: Optional[Union[str, Backend]] = None,
+) -> Iterator[ExperimentEngine]:
+    """Resolve an engine and own its lifecycle iff this scope created it.
+
+    A caller-supplied ``engine`` passes through untouched (the caller
+    amortizes its pool across calls and closes it); a scope-created engine
+    is closed gracefully on success and aborted on error, so every
+    experiment surface (estimators, sweeps, matrices) releases its workers
+    deterministically instead of leaking them to the garbage collector.
+    """
+    own = engine is None
+    resolved = resolve_engine(engine, workers, backend)
+    try:
+        yield resolved
+    except BaseException:
+        if own:
+            resolved.abort()
+        raise
+    else:
+        if own:
+            resolved.close()

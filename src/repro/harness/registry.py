@@ -39,7 +39,7 @@ first-class metric, in the spirit of scalable Byzantine reliable broadcast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..adversary.registry import behavior_for, behavior_supported
 from ..config import ProtocolConfig
@@ -47,8 +47,9 @@ from ..net.faults import ComposedChaos, PreGstChaos, ReceiverTargetedChaos
 from ..net.latency import ConstantLatency, ExponentialLatency, UniformLatency
 from ..sync.timeouts import FixedTimeout
 from . import scenarios as _scenarios
+from .backends import Backend
 from .metrics import StreamingProportion, Welford
-from .parallel import ExperimentEngine, TrialSpec, derive_seed, resolve_engine
+from .parallel import ExperimentEngine, TrialSpec, derive_seed, engine_scope
 from .trial import DeploymentSpec, RunResult, run_trial
 
 __all__ = [
@@ -442,6 +443,31 @@ class CellAccumulator:
         self._messages.add(float(row["total_messages"]))
         self._bytes.add(float(row["total_bytes"]))
 
+    def merge(self, other: "CellAccumulator") -> "CellAccumulator":
+        """Fold another accumulator over the same cell into this one.
+
+        The per-cell fan-in for sharded execution: shard-local accumulators
+        (built by :meth:`~repro.harness.backends.sharded.ShardedBackend.
+        map_reduce` workers) merged in shard order aggregate the same
+        stream the serial fold sees — counts and proportions exactly, float
+        means up to float associativity (see
+        :meth:`repro.harness.metrics.Welford.merge`).
+        """
+        if other.cell != self.cell:
+            raise ValueError(
+                f"cannot merge accumulators for different cells: "
+                f"{self.cell.label} != {other.cell.label}"
+            )
+        self.trials += other.trials
+        self._decide.merge(other._decide)
+        self._agreement.merge(other._agreement)
+        self._agreement_prop.merge(other._agreement_prop)
+        self._max_view.merge(other._max_view)
+        self._decision_time.merge(other._decision_time)
+        self._messages.merge(other._messages)
+        self._bytes.merge(other._bytes)
+        return self
+
     def summary(self) -> Dict[str, Any]:
         """The per-cell report row (means, rates, intervals, and costs).
 
@@ -518,15 +544,19 @@ def run_matrix(
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     max_time: float = 5000.0,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> MatrixReport:
     """Stream every supported cell's trials and aggregate per cell.
 
     ``trials`` overrides every cell uniformly; ``None`` (default) applies
     the matrix's per-cell budgets (fallback 1).  Trial seeds derive from
     ``(master_seed, global trial index)``, so the report is bit-identical
-    for any worker count — and because results fold into
-    :class:`CellAccumulator` as they arrive (submission order), memory
-    stays constant in the number of trials.
+    for any worker count *and any execution backend* (``backend`` — a
+    registry name like ``"pool"``/``"async"``/``"sharded"`` or a
+    :class:`~repro.harness.backends.base.Backend` instance — only changes
+    where trials run; aggregation is always the same submission-order
+    fold).  Because results fold into :class:`CellAccumulator` as they
+    arrive, memory stays constant in the number of trials.
     """
     if trials is not None and trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -550,14 +580,13 @@ def run_matrix(
     report = MatrixReport(
         matrix=matrix.name, trials=trials, master_seed=master_seed
     )
-    results = resolve_engine(engine, workers).stream(
-        run_matrix_cell, specs(), count=sum(counts)
-    )
-    for cell, count in zip(cells, counts):
-        accumulator = CellAccumulator(cell)
-        for _ in range(count):
-            accumulator.add(next(results))
-        report.rows.append(accumulator.summary())
+    with engine_scope(engine, workers, backend) as resolved:
+        results = resolved.stream(run_matrix_cell, specs(), count=sum(counts))
+        for cell, count in zip(cells, counts):
+            accumulator = CellAccumulator(cell)
+            for _ in range(count):
+                accumulator.add(next(results))
+            report.rows.append(accumulator.summary())
     return report
 
 

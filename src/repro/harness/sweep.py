@@ -17,14 +17,26 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from .backends import Backend
 from .parallel import (
     ExperimentEngine,
     TrialError,
     TrialSpec,
     derive_seed,
-    resolve_engine,
+    engine_scope,
 )
 
 
@@ -112,14 +124,17 @@ def run_sweep(
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     master_seed: int = 0,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> SweepResult:
     """Evaluate ``fn`` on the Cartesian product of ``axes``.
 
     ``fn`` receives a :class:`SweepPoint` and returns a dict of outputs; all
     points must return the same output keys.  With ``workers > 1`` (or a
-    parallel ``engine``), points evaluate across a process pool — ``fn``
-    must then be picklable — while results keep grid order, so serial and
-    parallel sweeps of deterministic/seed-driven functions are identical.
+    parallel ``engine``, or an explicitly concurrent ``backend`` name such
+    as ``"pool"``/``"async"``/``"sharded"``), points evaluate concurrently —
+    ``fn`` must then satisfy the backend's requirements (picklable for
+    process-based backends) — while results keep grid order, so every
+    backend's sweep of deterministic/seed-driven functions is identical.
 
     Error semantics: in-process execution stops at the first failing point
     and re-raises its original exception; pooled execution surfaces
@@ -151,23 +166,22 @@ def run_sweep(
     # evaluation composes with online aggregation downstream.
     rows: List[Tuple[SweepPoint, Dict[str, Any]]] = []
     outputs: Tuple[str, ...] = ()
-    results = resolve_engine(engine, workers).stream(
-        _PointTask(fn), specs, count=len(specs)
-    )
-    try:
-        for point, out in zip(points, results):
-            if not outputs:
-                outputs = tuple(out.keys())
-            elif tuple(out.keys()) != outputs:
-                raise ValueError(
-                    f"inconsistent output keys at {point.params}: "
-                    f"{tuple(out.keys())} != {outputs}"
-                )
-            rows.append((point, out))
-    except TrialError as err:
-        # The in-process path chains the point function's real exception;
-        # surface it directly so callers keep catching the original type.
-        if err.__cause__ is not None:
-            raise err.__cause__
-        raise
+    with engine_scope(engine, workers, backend) as resolved:
+        results = resolved.stream(_PointTask(fn), specs, count=len(specs))
+        try:
+            for point, out in zip(points, results):
+                if not outputs:
+                    outputs = tuple(out.keys())
+                elif tuple(out.keys()) != outputs:
+                    raise ValueError(
+                        f"inconsistent output keys at {point.params}: "
+                        f"{tuple(out.keys())} != {outputs}"
+                    )
+                rows.append((point, out))
+        except TrialError as err:
+            # The in-process path chains the point function's real exception;
+            # surface it directly so callers keep catching the original type.
+            if err.__cause__ is not None:
+                raise err.__cause__
+            raise
     return SweepResult(axes=names, outputs=outputs, rows=rows)

@@ -12,22 +12,25 @@ Two levels of fidelity:
 Every estimator fans its trials through
 :class:`repro.harness.parallel.ExperimentEngine`: trial ``i`` draws from a
 ``numpy`` generator seeded with ``derive_seed(seed, i)``, so results are
-bit-identical whether the trials run serially (``workers=0``, the default)
-or across a process pool (``workers=k``), and independent of completion
-order.  Pass ``workers=`` for one-off parallelism or ``engine=`` to share a
-configured engine across calls.
+bit-identical whether the trials run serially (``workers=0``, the default),
+across a process pool (``workers=k``), or on any other execution backend
+(``backend="async"``/``"sharded"`` — see :mod:`repro.harness.backends`),
+and independent of completion order.  Pass ``workers=``/``backend=`` for
+one-off parallelism or ``engine=`` to share a configured engine across
+calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..config import ProtocolConfig, probabilistic_quorum_size, vrf_sample_size
 from ..harness.metrics import ProportionEstimate
-from ..harness.parallel import ExperimentEngine, TrialSpec, resolve_engine
+from ..harness.backends import Backend
+from ..harness.parallel import ExperimentEngine, TrialSpec, engine_scope
 from .sampling import inclusion_counts, membership_matrix
 
 
@@ -168,6 +171,7 @@ def estimate_prepare_quorum(
     seed: int = 0,
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> MonteCarloResult:
     """Probability of forming a prepare quorum when all correct replicas send.
 
@@ -175,9 +179,10 @@ def estimate_prepare_quorum(
     target) and the all-correct-replicas-form event.
     """
     q, s = _sizes(n, o, l)
-    rows = resolve_engine(engine, workers).run_trials(
-        _prepare_quorum_trial, trials, master_seed=seed, params=(n, f, q, s)
-    )
+    with engine_scope(engine, workers, backend) as eng:
+        rows = eng.run_trials(
+            _prepare_quorum_trial, trials, master_seed=seed, params=(n, f, q, s)
+        )
     replica_hits = sum(r for r, _ in rows)
     all_hits = sum(a for _, a in rows)
     return MonteCarloResult(
@@ -198,6 +203,7 @@ def estimate_termination(
     seed: int = 0,
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> MonteCarloResult:
     """Termination in a correct-leader view (Figure 5 right panels).
 
@@ -208,9 +214,10 @@ def estimate_termination(
     worst case Theorem 2 mentions).
     """
     q, s = _sizes(n, o, l)
-    rows = resolve_engine(engine, workers).run_trials(
-        _termination_trial, trials, master_seed=seed, params=(n, f, q, s)
-    )
+    with engine_scope(engine, workers, backend) as eng:
+        rows = eng.run_trials(
+            _termination_trial, trials, master_seed=seed, params=(n, f, q, s)
+        )
     decide_hits = sum(d for d, _, _ in rows)
     all_decide_hits = sum(a for _, a, _ in rows)
     prepared_fracs = [frac for _, _, frac in rows]
@@ -235,6 +242,7 @@ def estimate_agreement_violation(
     model_detection: bool = False,
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> MonteCarloResult:
     """The optimal-split attack (Figure 4c) at the sampling level.
 
@@ -251,12 +259,13 @@ def estimate_agreement_violation(
       protocol, in which such replicas block the view instead of deciding).
     """
     q, s = _sizes(n, o, l)
-    rows = resolve_engine(engine, workers).run_trials(
-        _agreement_violation_trial,
-        trials,
-        master_seed=seed,
-        params=(n, f, q, s, model_detection),
-    )
+    with engine_scope(engine, workers, backend) as eng:
+        rows = eng.run_trials(
+            _agreement_violation_trial,
+            trials,
+            master_seed=seed,
+            params=(n, f, q, s, model_detection),
+        )
     side_fixed_hits = sum(sf for sf, _, _ in rows)
     violation_hits = sum(v for _, v, _ in rows)
     estimates = {
@@ -277,6 +286,7 @@ def estimate_protocol_agreement(
     max_time: float = 5000.0,
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> MonteCarloResult:
     """Full-protocol agreement under the optimal equivocation attack.
 
@@ -286,12 +296,13 @@ def estimate_protocol_agreement(
     trial is a whole simulation, so this is also where ``workers>1`` pays
     off most.
     """
-    rows = resolve_engine(engine, workers).run_trials(
-        _protocol_agreement_trial,
-        trials,
-        master_seed=seed,
-        params=(config, max_time),
-    )
+    with engine_scope(engine, workers, backend) as eng:
+        rows = eng.run_trials(
+            _protocol_agreement_trial,
+            trials,
+            master_seed=seed,
+            params=(config, max_time),
+        )
     violation_hits = sum(v for v, _ in rows)
     undecided_runs = sum(u for _, u in rows)
     return MonteCarloResult(
@@ -313,6 +324,7 @@ def estimate_viewchange_decide(
     seed: int = 0,
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> MonteCarloResult:
     """Lemma 6 / Theorem 8's scenario: only ``prepared`` replicas committed.
 
@@ -323,9 +335,10 @@ def estimate_viewchange_decide(
     """
     q, s = _sizes(n, o, l)
     r = prepared if prepared is not None else (n + f) // 2
-    rows = resolve_engine(engine, workers).run_trials(
-        _viewchange_trial, trials, master_seed=seed, params=(n, r, q, s)
-    )
+    with engine_scope(engine, workers, backend) as eng:
+        rows = eng.run_trials(
+            _viewchange_trial, trials, master_seed=seed, params=(n, r, q, s)
+        )
     hits = sum(rows)
     return MonteCarloResult(
         trials=trials,

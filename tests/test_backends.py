@@ -1,0 +1,484 @@
+"""Cross-backend bit-identity for the pluggable execution layer.
+
+The seam's hard guarantee, pinned on golden seeds: **serial == pool ==
+async == sharded** for
+
+* raw trial-level results (map and stream),
+* full-protocol :class:`RunResult` streams through the trial lifecycle,
+* ``run_matrix`` reports and their per-cell accumulators (including
+  accumulators assembled by sharded per-shard merging),
+* the Monte-Carlo estimators' counts,
+
+plus :class:`TrialError` propagation from every backend, the
+Welford/StreamingProportion merge algebra, and the process pool's graceful
+(close/join, not terminate) happy-path lifecycle.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness.backends import (
+    AsyncioBackend,
+    BACKENDS,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    backend_from_env,
+    list_backends,
+    make_backend,
+    resolve_workers,
+)
+from repro.harness.metrics import StreamingProportion, Welford
+from repro.harness.parallel import (
+    ExperimentEngine,
+    TrialError,
+    TrialSpec,
+    derive_seed,
+    resolve_engine,
+)
+from repro.harness.registry import (
+    CellAccumulator,
+    MatrixCell,
+    ScenarioMatrix,
+    run_matrix,
+    run_matrix_cell,
+)
+from repro.harness.sweep import run_sweep
+from repro.montecarlo.experiments import estimate_termination
+
+BACKEND_NAMES = ("serial", "pool", "async", "sharded")
+
+#: A tiny protocol-level matrix cell: full discrete-event simulation at n=6.
+GOLDEN_CELL = MatrixCell(
+    protocol="probft", adversary="silent", latency="constant", n=6, f=1
+)
+
+GOLDEN_MATRIX = ScenarioMatrix(
+    name="backend-golden",
+    protocols=("probft",),
+    adversaries=("none", "silent"),
+    latencies=("constant",),
+    n=6,
+)
+
+
+# Module-level trial functions (pool/sharded backends pickle them).
+
+
+def draw_trial(spec: TrialSpec) -> float:
+    return float(np.random.default_rng(spec.seed).random())
+
+
+def crash_on_three(spec: TrialSpec) -> int:
+    if spec.index == 3:
+        raise ValueError(f"boom at {spec.index}")
+    return spec.index
+
+
+def slow_trial(spec: TrialSpec) -> int:
+    time.sleep(0.15)
+    return spec.index
+
+
+def fold_matrix_row(acc: CellAccumulator, row: dict) -> None:
+    acc.add(row)
+
+
+def make_golden_accumulator() -> CellAccumulator:
+    return CellAccumulator(GOLDEN_CELL)
+
+
+def cell_specs(trials: int, master_seed: int = 0, max_time: float = 500.0):
+    return [
+        TrialSpec(
+            index=i,
+            seed=derive_seed(master_seed, i),
+            params=(GOLDEN_CELL, max_time),
+        )
+        for i in range(trials)
+    ]
+
+
+def backend_for(name: str):
+    """A small two-worker instance of the named backend."""
+    return make_backend(name, workers=2)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert list_backends() == list(BACKEND_NAMES)
+        assert set(BACKENDS) == set(BACKEND_NAMES)
+
+    def test_default_selection_follows_workers(self):
+        assert isinstance(make_backend(None, workers=0), SerialBackend)
+        assert isinstance(make_backend(None, workers=1), SerialBackend)
+        assert isinstance(make_backend(None, workers=2), ProcessPoolBackend)
+
+    def test_explicit_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("pool", workers=2), ProcessPoolBackend)
+        assert isinstance(make_backend("async", workers=2), AsyncioBackend)
+        assert isinstance(make_backend("sharded", workers=2), ShardedBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_auto_workers(self):
+        import os
+
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+        assert resolve_workers("AUTO") == (os.cpu_count() or 1)
+        assert resolve_workers(3) == 3
+        assert resolve_workers("5") == 5
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+
+    def test_concurrent_backend_without_workers_saturates(self):
+        import os
+
+        backend = make_backend("pool", workers=0)
+        assert backend.workers == (os.cpu_count() or 1)
+
+    def test_backend_from_env(self, monkeypatch):
+        monkeypatch.delenv("X_BACKEND", raising=False)
+        assert backend_from_env("X_BACKEND") is None
+        assert backend_from_env("X_BACKEND", default="pool") == "pool"
+        monkeypatch.setenv("X_BACKEND", "Sharded")
+        assert backend_from_env("X_BACKEND") == "sharded"
+        monkeypatch.setenv("X_BACKEND", "quantum")
+        assert backend_from_env("X_BACKEND", default="serial") == "serial"
+
+    def test_engine_exposes_backend(self):
+        engine = ExperimentEngine(workers=2, backend="sharded")
+        assert engine.backend_name == "sharded"
+        assert engine.parallel
+        engine.close()
+        # A constructed Backend instance passes through as-is.
+        backend = SerialBackend()
+        assert ExperimentEngine(backend=backend).backend is backend
+
+    def test_resolve_engine_backend_passthrough(self):
+        engine = resolve_engine(None, 2, backend="async")
+        assert engine.backend_name == "async"
+        engine.close()
+
+
+class TestCrossBackendIdentity:
+    """serial == pool == async == sharded, golden seeds, every surface."""
+
+    def test_trial_level_map_and_stream(self):
+        reference = SerialBackend().map(
+            draw_trial, [TrialSpec(i, derive_seed(7, i)) for i in range(40)]
+        )
+        specs = [TrialSpec(i, derive_seed(7, i)) for i in range(40)]
+        for name in BACKEND_NAMES:
+            with backend_for(name) as backend:
+                assert backend.map(draw_trial, list(specs)) == reference, name
+                assert (
+                    list(backend.stream(draw_trial, list(specs), count=40))
+                    == reference
+                ), name
+
+    def test_run_result_streams_identical(self):
+        """Full-protocol RunResult rows agree bit-for-bit per backend."""
+        specs = cell_specs(trials=6, master_seed=2024)
+        reference = SerialBackend().map(run_matrix_cell, list(specs))
+        assert reference, "golden cell produced no rows"
+        for name in BACKEND_NAMES:
+            with backend_for(name) as backend:
+                assert (
+                    backend.map(run_matrix_cell, list(specs)) == reference
+                ), name
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_run_matrix_report_identical(self, name):
+        reference = run_matrix(GOLDEN_MATRIX, trials=3, master_seed=5)
+        got = run_matrix(
+            GOLDEN_MATRIX, trials=3, master_seed=5, workers=2, backend=name
+        )
+        assert got.rows == reference.rows
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_estimator_counts_identical(self, name):
+        serial = estimate_termination(32, 6, 1.7, trials=40, seed=9)
+        other = estimate_termination(
+            32, 6, 1.7, trials=40, seed=9, workers=2, backend=name
+        )
+        assert {k: v.successes for k, v in serial.estimates.items()} == {
+            k: v.successes for k, v in other.estimates.items()
+        }
+        assert serial.mean_prepared_fraction == other.mean_prepared_fraction
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_run_sweep_identical(self, name):
+        reference = run_sweep({"n": [16, 25, 36]}, sweep_point_fn)
+        got = run_sweep(
+            {"n": [16, 25, 36]}, sweep_point_fn, workers=2, backend=name
+        )
+        assert got.rows == reference.rows
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_trial_error_propagation(self, name):
+        """Every backend surfaces the first failing trial's identity."""
+        engine = ExperimentEngine(workers=2, backend=name, chunk_size=1)
+        with pytest.raises(TrialError) as exc_info:
+            engine.run_trials(crash_on_three, 8, master_seed=2)
+        err = exc_info.value
+        assert err.index == 3
+        assert err.seed == derive_seed(2, 3)
+        assert "boom at 3" in str(err)
+        assert "ValueError" in err.detail
+        engine.abort()
+
+
+def sweep_point_fn(point):
+    return {"sqrt": point["n"] ** 0.5, "seeded": point.seed % 97}
+
+
+class TestShardedMerge:
+    """Per-shard accumulators merged in shard order == the streamed fold."""
+
+    def test_merged_cell_accumulator_matches_streamed(self):
+        specs = cell_specs(trials=10, master_seed=77)
+        streamed = CellAccumulator(GOLDEN_CELL)
+        for row in SerialBackend().map(run_matrix_cell, list(specs)):
+            streamed.add(row)
+
+        for inner_workers, shard_size in ((1, 3), (2, 4)):
+            sharded = ShardedBackend(workers=inner_workers, shard_size=shard_size)
+            merged = sharded.map_reduce(
+                run_matrix_cell,
+                list(specs),
+                make_golden_accumulator,
+                fold_matrix_row,
+                count=len(specs),
+            )
+            sharded.close()
+            assert merged.trials == streamed.trials
+            # Constant-latency golden cells have exactly-representable
+            # observations, so the merge is bit-identical, summary included.
+            assert merged.summary() == streamed.summary()
+
+    def test_manual_shard_merge_matches(self):
+        """CellAccumulator.merge composes shard-local folds exactly."""
+        specs = cell_specs(trials=9, master_seed=13)
+        rows = SerialBackend().map(run_matrix_cell, list(specs))
+        whole = CellAccumulator(GOLDEN_CELL)
+        for row in rows:
+            whole.add(row)
+        merged = CellAccumulator(GOLDEN_CELL)
+        for shard_start in range(0, len(rows), 4):
+            shard_acc = CellAccumulator(GOLDEN_CELL)
+            for row in rows[shard_start : shard_start + 4]:
+                shard_acc.add(row)
+            merged.merge(shard_acc)
+        assert merged.summary() == whole.summary()
+
+    def test_merge_rejects_cell_mismatch(self):
+        other = MatrixCell(
+            protocol="probft", adversary="none", latency="constant", n=6, f=1
+        )
+        with pytest.raises(ValueError, match="different cells"):
+            CellAccumulator(GOLDEN_CELL).merge(CellAccumulator(other))
+
+    def test_map_reduce_propagates_trial_error(self):
+        specs = [TrialSpec(i, derive_seed(2, i)) for i in range(8)]
+        sharded = ShardedBackend(workers=2, shard_size=2)
+        with pytest.raises(TrialError) as exc_info:
+            sharded.map_reduce(
+                crash_on_three, specs, Welford, fold_value, count=8
+            )
+        assert exc_info.value.index == 3
+        sharded.close()
+
+
+def fold_value(acc: Welford, value) -> None:
+    acc.add(float(value))
+
+
+class TestMergeAlgebra:
+    def test_welford_merge_exact_on_integers(self):
+        values = [float(v) for v in [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]]
+        whole = Welford().extend(values)
+        for split in (1, 4, len(values)):
+            left = Welford().extend(values[:split])
+            right = Welford().extend(values[split:])
+            merged = left.merge(right)
+            assert merged.count == whole.count
+            assert merged.total == whole.total
+            assert merged.mean == whole.mean
+            assert abs(merged.variance - whole.variance) < 1e-12
+
+    def test_welford_merge_close_on_floats(self):
+        rng = np.random.default_rng(42)
+        values = list(rng.normal(1000.0, 0.001, size=64))
+        whole = Welford().extend(values)
+        merged = Welford().extend(values[:17]).merge(
+            Welford().extend(values[17:])
+        )
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(whole.variance, rel=1e-9)
+
+    def test_welford_merge_empty_identities(self):
+        base = Welford().extend([1.0, 2.0])
+        assert base.merge(Welford()).count == 2
+        empty = Welford()
+        empty.merge(Welford().extend([1.0, 2.0]))
+        assert empty.count == 2 and empty.mean == 1.5
+        assert Welford().merge(Welford()).count == 0
+
+    def test_streaming_proportion_merge(self):
+        outcomes = [True, False, True, True, False, True, False]
+        whole = StreamingProportion()
+        for outcome in outcomes:
+            whole.add(outcome)
+        left, right = StreamingProportion(), StreamingProportion()
+        for outcome in outcomes[:3]:
+            left.add(outcome)
+        for outcome in outcomes[3:]:
+            right.add(outcome)
+        left.merge(right)
+        assert (left.successes, left.trials) == (whole.successes, whole.trials)
+        assert left.interval == whole.interval
+
+
+class TestPoolLifecycle:
+    """Happy-path shutdown is graceful; terminate stays on error paths."""
+
+    def test_close_joins_without_terminate(self):
+        backend = ProcessPoolBackend(workers=2)
+        backend.map(draw_trial, [TrialSpec(i, i) for i in range(4)])
+        pool = backend._pool
+        assert pool is not None
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate")
+        try:
+            backend.close()
+        finally:
+            pool.terminate = original_terminate
+        assert calls == []  # graceful: close()+join(), never terminate()
+        assert backend._pool is None
+        # A later map transparently re-creates the pool.
+        assert len(backend.map(draw_trial, [TrialSpec(0, 0)])) == 1
+        backend.close()
+
+    def test_exactly_consumed_stream_closes_gracefully(self):
+        """run_matrix/run_sweep pull exactly ``count`` results (zip/next),
+        leaving the generator suspended at its final yield — that is a
+        fully-drained stream and must NOT be misclassified as abandoned."""
+        backend = ProcessPoolBackend(workers=2)
+        specs = [TrialSpec(i, i) for i in range(6)]
+        stream = backend.stream(draw_trial, specs, count=6)
+        got = [next(stream) for _ in range(6)]  # never iterates past the end
+        assert len(got) == 6
+        del stream  # finalized while suspended at the last yield
+        assert not backend._dirty
+        pool = backend._pool
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate")
+        try:
+            backend.close()
+        finally:
+            pool.terminate = original_terminate
+        assert calls == []  # graceful close()+join on the happy path
+        assert backend._pool is None
+
+    def test_run_matrix_happy_path_closes_gracefully(self):
+        """End-to-end: a successful run_matrix over a shared engine leaves
+        the pool clean, so engine.close() never terminates workers."""
+        engine = ExperimentEngine(workers=2)
+        run_matrix(GOLDEN_MATRIX, trials=2, master_seed=1, engine=engine)
+        import gc
+
+        gc.collect()  # finalize the consumed stream generator
+        assert not engine.backend._dirty
+        pool = engine._pool
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate")
+        try:
+            engine.close()
+        finally:
+            pool.terminate = original_terminate
+        assert calls == []
+
+    def test_close_after_abandoned_stream_terminates(self):
+        """Abandoning a stream mid-iteration leaves the pool's task queue
+        full; close() must not drain it gracefully (that executes every
+        remaining spec) — it falls through to terminate."""
+        backend = ProcessPoolBackend(workers=2, chunk_size=1)
+        stream = backend.stream(
+            slow_trial, [TrialSpec(i, i) for i in range(60)], count=60
+        )
+        assert next(stream) == 0
+        stream.close()  # early break / consumer walked away
+        pool = backend._pool
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate") or original_terminate()
+        start = time.perf_counter()
+        backend.close()
+        elapsed = time.perf_counter() - start
+        assert calls == ["terminate"]
+        assert elapsed < 2.0  # never waits for the ~60 queued slow trials
+        assert backend._pool is None
+        # The dirty flag does not outlive the pool: a fresh pool closes
+        # gracefully again.
+        backend.map(draw_trial, [TrialSpec(0, 0)])
+        assert not backend._dirty
+        backend.close()
+
+    def test_sharded_abort_reaches_inner_pool(self):
+        sharded = ShardedBackend(workers=2, shard_size=1)
+        sharded.inner.map(draw_trial, [TrialSpec(i, i) for i in range(2)])
+        pool = sharded.inner._pool
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate") or original_terminate()
+        sharded.abort()
+        assert calls == ["terminate"]
+        assert sharded.inner._pool is None
+
+    def test_abort_terminates(self):
+        backend = ProcessPoolBackend(workers=2)
+        backend.map(draw_trial, [TrialSpec(i, i) for i in range(4)])
+        pool = backend._pool
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate") or original_terminate()
+        backend.abort()
+        assert calls == ["terminate"]
+        assert backend._pool is None
+
+    def test_engine_context_manager_routes_by_outcome(self):
+        with ExperimentEngine(workers=2) as engine:
+            engine.run_trials(draw_trial, 4)
+            pool = engine._pool
+            calls = []
+            original_terminate = pool.terminate
+            pool.terminate = (
+                lambda: calls.append("terminate") or original_terminate()
+            )
+        assert calls == []  # clean exit: graceful close
+        assert engine._pool is None
+
+        with pytest.raises(RuntimeError, match="bail"):
+            with ExperimentEngine(workers=2) as engine:
+                engine.run_trials(draw_trial, 4)
+                pool = engine._pool
+                calls = []
+                original_terminate = pool.terminate
+                pool.terminate = (
+                    lambda: calls.append("terminate") or original_terminate()
+                )
+                raise RuntimeError("bail")
+        assert calls == ["terminate"]  # error exit: hard abort

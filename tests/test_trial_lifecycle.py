@@ -222,3 +222,44 @@ class TestMemoizedVerification:
         for view in range(10):
             memo.prove(0, f"{view}||prepare", 3)
         assert len(memo._cache) <= 3
+        assert len(memo._prove_cache) <= 3
+
+    def test_prove_memo_bit_identical_on_golden_seeds(self):
+        """Recurring per-view sampler keys prove once — and identically.
+
+        The prove memo is keyed (replica, seed, s) over the immutable
+        registry, so the memoized prover's outputs (sample AND proof bytes)
+        must be bit-identical to an uncached VRF for every golden seed.
+        """
+        fresh = CryptoContext.create(10, b"prove-memo-golden")
+        memo = MemoizedVRF(fresh.registry)
+        golden = [
+            (replica, f"{view}||{tag}", 4)
+            for replica in (0, 3, 9)
+            for view in (1, 2, 7)
+            for tag in ("prepare", "commit")
+        ]
+        first = [memo.prove(*args) for args in golden]
+        assert memo.prove_misses == len(golden) and memo.prove_hits == 0
+        again = [memo.prove(*args) for args in golden]
+        assert memo.prove_hits == len(golden)
+        reference = [fresh.vrf.prove(*args) for args in golden]
+        assert first == again == reference
+        for out in first:
+            assert isinstance(out.proof, bytes)
+
+    def test_prove_with_explicit_key_is_never_cached(self):
+        """The adversary's corrupted-key path must not hit the memo: an
+        explicit key that differs from the registry's yields a different
+        output even for a (replica, seed, s) triple already memoized."""
+        fresh = CryptoContext.create(6, b"prove-memo-adv")
+        memo = MemoizedVRF(fresh.registry)
+        honest = memo.prove(2, "1||prepare", 3)
+        misses = memo.prove_misses
+        wrong_key = b"\x07" * 32
+        forged = memo.prove_with(wrong_key, 2, "1||prepare", 3)
+        assert forged != honest
+        assert memo.prove_misses == misses  # prove_with bypassed the memo
+        assert forged == fresh.vrf.prove_with(wrong_key, 2, "1||prepare", 3)
+        # And the forged output does not verify as replica 2.
+        assert not memo.verify(2, "1||prepare", 3, forged)
