@@ -1,0 +1,175 @@
+"""BENCH-ADAPTIVE — fixed vs adaptive trial budgets on a Figure-5 cell.
+
+The adaptive-budget subsystem's pitch is simple: a matrix cell whose
+Wilson interval is already narrower than anyone will read off the plot
+should stop burning trials.  This bench quantifies that on one Figure-5
+protocol cell — ProBFT under a Byzantine-silent leader at ``n = 20``
+(every trial is a full discrete-event simulation including the forced
+view change) — by running the same cell twice:
+
+* **fixed** — the classical budget (``TRIALS`` trials, no early stop);
+* **adaptive** — ``target_width=WIDTH`` with the same budget as cap,
+  checkpointed every ``CHUNK`` trials.
+
+``BENCH_adaptive.json`` at the repo root records both wall-clocks, the
+trials actually used, and the achieved interval widths, so successive PRs
+can track the subsystem's savings.  Two assertions pin correctness along
+the way: the adaptive run must spend strictly fewer trials than the cap
+(this cell's agreement rate is 1.0, so the all-success width formula
+``z²/(t+z²)`` makes the stopping point predictable), and its estimates
+must be bit-identical to the same-length prefix of the fixed run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.crypto.context import clear_crypto_pool
+from repro.harness.registry import (
+    CellAccumulator,
+    ScenarioMatrix,
+    run_matrix,
+    run_matrix_cell,
+)
+from repro.harness.parallel import TrialSpec, derive_seed
+from repro.harness.tables import render_table
+
+#: One Figure-5 protocol cell: full simulation, silent leader, f/n = 0.2.
+N = 20
+TRIALS = 24
+WIDTH = 0.35
+CHUNK = 8
+MASTER_SEED = 2024
+MAX_TIME = 5000.0
+
+MATRIX = ScenarioMatrix(
+    name="bench-adaptive",
+    protocols=("probft",),
+    adversaries=("silent",),
+    latencies=("constant",),
+    n=N,
+)
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
+
+
+def run_once(target_width=None):
+    """One timed pass over the cell; the crypto pool is cleared first so
+    fixed and adaptive pay the same warm-up."""
+    clear_crypto_pool()
+    start = time.perf_counter()
+    report = run_matrix(
+        MATRIX,
+        trials=TRIALS,
+        master_seed=MASTER_SEED,
+        max_time=MAX_TIME,
+        target_width=target_width,
+        chunk=CHUNK,
+    )
+    elapsed = time.perf_counter() - start
+    return report.rows[0], elapsed
+
+
+def fixed_prefix_summary(used: int):
+    """The fixed run's first ``used`` trials, re-folded independently."""
+    cell = MATRIX.cells()[0]
+    accumulator = CellAccumulator(cell)
+    for index in range(used):
+        accumulator.add(
+            run_matrix_cell(
+                TrialSpec(
+                    index, derive_seed(MASTER_SEED, index), (cell, MAX_TIME)
+                )
+            )
+        )
+    return accumulator.summary()
+
+
+def compute_comparison():
+    # Warm-up pass so the first timed variant doesn't pay import/OS caches.
+    clear_crypto_pool()
+    run_matrix(MATRIX, trials=2, master_seed=MASTER_SEED, max_time=MAX_TIME)
+
+    fixed_row, fixed_s = run_once()
+    adaptive_row, adaptive_s = run_once(target_width=WIDTH)
+    used = adaptive_row["trials_used"]
+    prefix = fixed_prefix_summary(used)
+    prefix_identical = all(
+        adaptive_row[key] == value
+        for key, value in prefix.items()
+        if key != "trials"
+    )
+    return {
+        "bench": "fig5-adaptive-budgets",
+        "n": N,
+        "f": N // 5,
+        "cell": MATRIX.cells()[0].label,
+        "budget": TRIALS,
+        "target_width": WIDTH,
+        "chunk": CHUNK,
+        "cpu_count": os.cpu_count() or 1,
+        "fixed": {
+            "seconds": round(fixed_s, 3),
+            "trials": fixed_row["trials"],
+            "interval_width": fixed_row["interval_width"],
+        },
+        "adaptive": {
+            "seconds": round(adaptive_s, 3),
+            "trials_used": used,
+            "stop_reason": adaptive_row["stop_reason"],
+            "interval_width": adaptive_row["interval_width"],
+        },
+        "trials_saved": TRIALS - used,
+        "speedup_vs_fixed": round(fixed_s / adaptive_s, 2) if adaptive_s else 0.0,
+        "prefix_identical": prefix_identical,
+    }
+
+
+@pytest.mark.benchmark(group="adaptive")
+def test_bench_adaptive(benchmark, report):
+    row = benchmark.pedantic(compute_comparison, rounds=1, iterations=1)
+    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
+    table = [
+        [
+            "fixed",
+            row["fixed"]["trials"],
+            row["fixed"]["seconds"],
+            row["fixed"]["interval_width"],
+            "-",
+        ],
+        [
+            "adaptive",
+            row["adaptive"]["trials_used"],
+            row["adaptive"]["seconds"],
+            row["adaptive"]["interval_width"],
+            row["adaptive"]["stop_reason"],
+        ],
+    ]
+    report(
+        render_table(
+            ["mode", "trials", "seconds", "interval width", "stop reason"],
+            table,
+            title=(
+                f"BENCH-ADAPTIVE: {row['cell']} (n={N}, budget {TRIALS}, "
+                f"target width {WIDTH}, chunk {CHUNK})\n"
+                f"wrote {ARTIFACT.name}; adaptive saved "
+                f"{row['trials_saved']} trials "
+                f"({row['speedup_vs_fixed']}x wall-clock) at equal "
+                "statistical power"
+            ),
+        )
+    )
+    # The subsystem's two claims: strictly cheaper than the cap...
+    assert row["adaptive"]["trials_used"] < TRIALS
+    assert row["adaptive"]["stop_reason"] == "target-width"
+    assert row["adaptive"]["interval_width"] <= WIDTH
+    # ...and bit-identical to the fixed run's same-length prefix.
+    assert row["prefix_identical"]
+    # Fewer full simulations must cost less wall-clock (3x fewer trials
+    # leaves ample margin over timer noise).
+    assert row["adaptive"]["seconds"] < row["fixed"]["seconds"]

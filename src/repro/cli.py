@@ -10,8 +10,10 @@ Commands:
 * ``sweep``    — run a named scenario matrix (protocols × adversaries ×
   latency models) through the parallel experiment engine — on any execution
   backend (``--backend serial|pool|async|sharded``, ``--workers auto`` for
-  the core count; results are bit-identical across all of them) — and print
-  a table or JSON report;
+  the core count; results are bit-identical across all of them), with
+  optional adaptive budgets (``--target-width W --chunk K`` stops each cell
+  once its agreement Wilson interval is narrow enough; budgets become
+  worst-case caps) — and print a table or JSON report;
 * ``plot``     — render Figure-5 style plots (metric vs system size) from
   one or more ``sweep --json`` reports (requires matplotlib).
 """
@@ -28,6 +30,7 @@ from .analysis import agreement as A
 from .analysis import messages as M
 from .analysis import termination as T
 from .config import ProtocolConfig
+from .harness.adaptive import DEFAULT_CHUNK
 from .harness.runner import run_protocol
 from .harness.tables import render_series, render_table
 
@@ -147,6 +150,15 @@ def cmd_sweep(args) -> int:
     if args.trials is not None and args.trials < 1:
         print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
         return 2
+    if args.target_width is not None and not 0.0 < args.target_width <= 1.0:
+        print(
+            f"--target-width must be in (0, 1], got {args.target_width}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chunk < 1:
+        print(f"--chunk must be >= 1, got {args.chunk}", file=sys.stderr)
+        return 2
     try:
         workers = resolve_workers(args.workers)
     except ValueError as exc:
@@ -192,6 +204,8 @@ def cmd_sweep(args) -> int:
             master_seed=args.seed,
             engine=engine,
             max_time=args.max_time,
+            target_width=args.target_width,
+            chunk=args.chunk,
         )
     if args.json:
         # NaN (e.g. mean decision time when nothing decided) is not valid
@@ -206,35 +220,46 @@ def cmd_sweep(args) -> int:
             }
             for row in report.rows
         ]
-        print(
-            json.dumps(
-                {
-                    "matrix": report.matrix,
-                    "n": matrix.n,
-                    "f": matrix.resolved_f(),
-                    "trials": report.trials,
-                    "master_seed": report.master_seed,
-                    "workers": effective_workers,
-                    "backend": backend_name,
-                    "rows": rows,
-                },
-                indent=2,
-                allow_nan=False,
-            )
-        )
+        payload = {
+            "matrix": report.matrix,
+            "n": matrix.n,
+            "f": matrix.resolved_f(),
+            "trials": report.trials,
+            "master_seed": report.master_seed,
+            "workers": effective_workers,
+            "backend": backend_name,
+            "rows": rows,
+        }
+        if report.adaptive:
+            # Adaptive metadata: what the rules were evaluated against
+            # (rows carry the per-cell trials_used/stop_reason/
+            # interval_width outcome columns).
+            payload["target_width"] = report.target_width
+            payload["chunk"] = report.chunk
+        print(json.dumps(payload, indent=2, allow_nan=False))
     else:
+        budget_note = (
+            f"{report.trials} trial(s)/cell"
+            if report.trials is not None
+            else "per-cell budget trials"
+        )
+        if report.adaptive:
+            width_note = (
+                f"width {report.target_width}"
+                if report.target_width is not None
+                else "matrix widths"
+            )
+            budget_note += (
+                f" (adaptive: {width_note}, checkpoint every "
+                f"{report.chunk})"
+            )
         print(
             render_table(
                 report.headers,
                 report.table_rows(),
                 title=(
-                    f"scenario matrix {report.matrix!r}: "
-                    + (
-                        f"{report.trials} trial(s)/cell"
-                        if report.trials is not None
-                        else "per-cell budget trials"
-                    )
-                    + f", master seed {report.master_seed}, "
+                    f"scenario matrix {report.matrix!r}: {budget_note}, "
+                    f"master seed {report.master_seed}, "
                     f"workers={effective_workers}, backend={backend_name}"
                 ),
             )
@@ -292,7 +317,16 @@ def _matrices_epilog() -> str:
         + "\n\nreports carry per-cell message-cost columns (mean_messages/"
         "messages_stderr);\nmatrices declared with track_bytes (e.g. "
         "byte-costs) also fill the byte-cost\ncolumns (mean_bytes/"
-        "bytes_stderr) from canonical message encodings."
+        "bytes_stderr) from canonical message encodings.\n\n"
+        "adaptive budgets: --target-width W stops each cell at the first\n"
+        "checkpoint (every --chunk K trials) where its agreement-rate "
+        "Wilson\ninterval is <= W wide; budgets become worst-case caps and "
+        "rows gain\ntrials_used/stop_reason/interval_width.  Adaptive "
+        "estimates are\nbit-identical to the same-length prefix of the "
+        "fixed-budget run, on\nevery backend.  Rough cost at a rate near "
+        "0/1: width W resolves after\n~3.84*(1-W)/W trials (73 for W=0.05; "
+        "pick K a small fraction of that).\nMatrices can also declare "
+        "target_width(s) themselves (e.g. adaptive-demo)."
     )
 
 
@@ -372,6 +406,29 @@ def build_parser() -> argparse.ArgumentParser:
             "execution backend (default: serial for --workers<=1, process "
             "pool otherwise); purely a performance choice — reports are "
             "bit-identical across backends"
+        ),
+    )
+    p_sweep.add_argument(
+        "--target-width",
+        type=float,
+        default=None,
+        metavar="W",
+        help=(
+            "adaptive budgets: stop each cell at the first checkpoint "
+            "where its agreement-rate Wilson interval is <= W wide (the "
+            "cell's trial budget becomes the worst-case cap); rows gain "
+            "trials_used/stop_reason columns"
+        ),
+    )
+    p_sweep.add_argument(
+        "--chunk",
+        type=int,
+        default=DEFAULT_CHUNK,
+        metavar="K",
+        help=(
+            "adaptive checkpoint period: stopping rules are evaluated "
+            f"every K trials (default {DEFAULT_CHUNK}); smaller K stops "
+            "closer to the target at more checkpoint overhead"
         ),
     )
     p_sweep.add_argument("--seed", type=int, default=0, help="master seed")

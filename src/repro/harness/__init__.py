@@ -17,7 +17,12 @@
   ``stream``/``run_stream`` path.
 * :mod:`repro.harness.backends` — the pluggable **execution backends**
   behind the engine: serial, process pool, asyncio, and sharded execution
-  behind one ``Backend`` seam (``map``/``stream``/``close``).
+  behind one ``Backend`` seam (``map``/``stream``/``close``, with a
+  bounded-window/cancellation contract on ``stream``).
+* :mod:`repro.harness.adaptive` — **adaptive trial budgets**: deterministic
+  :class:`StoppingRule`\\ s (:class:`FixedBudget`, :class:`TargetWidth`,
+  ``Any``/``All``) evaluated at chunk checkpoints, stopping a cell as soon
+  as its Wilson interval is narrow enough.
 * :mod:`repro.harness.registry` — the scenario registry (string-addressable
   builders) and :class:`ScenarioMatrix` (protocols × adversaries × latency
   cross products, with per-cell trial budgets).
@@ -75,7 +80,44 @@ omitting ``--trials`` applies the matrix's per-cell trial budgets.
 {serial,pool,async,sharded}`` picks the execution backend.
 ``python -m repro plot report.json ... -o fig5.png`` renders Figure-5
 style curves from those JSON reports (cost metrics like ``mean_messages``
-and ``mean_bytes`` plot with stderr error bars).
+and ``mean_bytes`` plot with stderr error bars; every row also carries the
+achieved ``interval_width``, plottable like any metric).
+
+Adaptive trial budgets
+----------------------
+
+Fixed budgets keep buying trials after the answer is already sharp.  Every
+surface can instead stop when the Wilson interval is *good enough*:
+
+* ``run_matrix(matrix, trials=..., target_width=0.05, chunk=32)`` (or
+  ``repro sweep --target-width 0.05 --chunk 32``, or ``target_width`` /
+  ``target_widths`` declared on the matrix itself) — each cell stops at
+  the first ``chunk`` boundary where its agreement-rate interval is at
+  most that wide, with the trial budget as the worst-case cap; rows gain
+  ``trials_used`` and ``stop_reason``.
+* estimators take ``stopping=`` — e.g. ``estimate_termination(...,
+  trials=5000, stopping=TargetWidth(0.02, metric="per_replica_decides"))``
+  — where ``metric`` names any estimate key; compose rules with
+  ``Any``/``All`` (or ``|``/``&``) to mix width targets and caps.
+
+**Choosing ``target_width``:** pick the coarsest interval you would accept
+on the plot.  For proportions near 0 or 1 (our regime) the all-success
+Wilson width after ``t`` trials is ``z²/(t+z²)``, so width ``w`` costs
+about ``3.84·(1−w)/w`` trials at 95%: ``w=0.2`` → ~16, ``w=0.05`` → ~73,
+``w=0.01`` → ~380.  **Choosing ``chunk``:** runs stop only at multiples of
+``chunk`` and an early cancel abandons at most about one window (=
+``chunk``) of in-flight trials, so make it a small fraction of the
+expected stopping point (the ``DEFAULT_CHUNK`` of 32 suits widths down to
+~0.05; drop to 8 for very cheap sampling-level trials, raise it when each
+checkpoint's rule evaluation should be amortized over more work).
+
+Adaptive runs keep every determinism guarantee: rules see only the folded
+submission-order prefix at deterministic checkpoints, so ``trials_used``
+is identical on every backend and worker count, and the estimates are
+**bit-identical to the same-length prefix of the fixed-budget run**
+(``tests/test_adaptive.py`` pins both).  Early cancel rides the backend
+seam's bounded-window stream contract (``stream(..., window=...)``), so
+stopping never drains the full seed range.
 
 Choosing an execution backend
 -----------------------------
@@ -169,6 +211,14 @@ functions or partials of them); a failing trial raises
 and worker traceback.
 """
 
+from .adaptive import (
+    DEFAULT_CHUNK,
+    FixedBudget,
+    ProportionProgress,
+    StoppingRule,
+    TargetWidth,
+    consume_adaptive,
+)
 from .trial import (
     DeploymentSpec,
     TrialContext,
@@ -234,6 +284,12 @@ from .scenarios import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK",
+    "FixedBudget",
+    "ProportionProgress",
+    "StoppingRule",
+    "TargetWidth",
+    "consume_adaptive",
     "DeploymentSpec",
     "TrialContext",
     "run_trial",

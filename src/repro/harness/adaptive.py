@@ -1,0 +1,331 @@
+"""Adaptive trial budgets: deterministic early stopping on Wilson intervals.
+
+The headline Figure-5 metrics are binomial proportions, so every extra
+trial buys a predictable narrowing of the cell's Wilson interval — and a
+fixed trial budget keeps spending long after the interval is already
+narrower than anyone will read off the plot.  This module lets every
+experiment surface stop a cell as soon as its interval is *good enough*:
+
+* :class:`StoppingRule` — the decision vocabulary: :class:`FixedBudget`
+  (the classical cap, expressed as a rule), :class:`TargetWidth` (stop when
+  a named proportion metric's Wilson interval is at most ``width`` wide),
+  and the composites :class:`Any` / :class:`All`.
+* :func:`consume_adaptive` — the one driver loop: pull results from a
+  (windowed) stream, fold each into the caller's accumulator, and evaluate
+  the rule **only at deterministic checkpoint boundaries** (every ``chunk``
+  trials, plus once at stream exhaustion).
+* :class:`ProportionProgress` — adapts a dict of named
+  :class:`~repro.harness.metrics.StreamingProportion` counters to the
+  progress view rules consume (the Monte-Carlo estimators use it;
+  :class:`~repro.harness.registry.CellAccumulator` implements the same view
+  natively for matrix cells).
+
+Determinism is the whole design: rules never see wall-clock, worker
+counts, or completion order — only the submission-order prefix folded so
+far — and they are consulted only when ``trials`` is a multiple of
+``chunk`` (or the stream ends).  Because per-trial seeds are
+counter-derived (:func:`~repro.harness.backends.base.derive_seed`), an
+adaptive run's results are **bit-identical to a prefix of the fixed-budget
+run**, its ``trials_used`` is identical on every backend and worker count,
+and re-running it reproduces the same stop.  Early cancel travels through
+the :class:`~repro.harness.backends.base.Backend` seam's bounded-window
+stream contract (``stream(..., window=...)``), so stopping a cell abandons
+at most a window of in-flight trials instead of draining the full seed
+range.
+
+Choosing ``width`` and ``chunk``: for a proportion pinned near 0 or 1 (our
+agreement/termination rates), an all-success Wilson interval has width
+``z²/(t+z²)``, so a target width ``w`` resolves after roughly ``z²(1-w)/w``
+trials (≈73 for ``w=0.05``, ≈7 for ``w=0.35`` at 95%).  ``chunk`` trades
+checkpoint overhead against overshoot: the run can only stop at multiples
+of ``chunk``, and cancellation abandons at most about one window (=
+``chunk``) of in-flight trials, so pick a chunk a small fraction of the
+expected stopping point.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from .metrics import StreamingProportion
+
+__all__ = [
+    "All",
+    "Any",
+    "DEFAULT_CHUNK",
+    "FixedBudget",
+    "ProportionProgress",
+    "STOP_BUDGET",
+    "STOP_MAX_TRIALS",
+    "STOP_TARGET_WIDTH",
+    "StoppingRule",
+    "TargetWidth",
+    "consume_adaptive",
+]
+
+#: Default checkpoint period: rules are evaluated every this many trials.
+DEFAULT_CHUNK = 32
+
+#: Canonical stop reasons (the ``stop_reason`` column's vocabulary).
+STOP_BUDGET = "budget"
+STOP_TARGET_WIDTH = "target-width"
+STOP_MAX_TRIALS = "max-trials"
+
+
+class Progress(typing.Protocol):
+    """What a stopping rule may observe: the folded submission-order prefix.
+
+    ``trials`` is how many results have been folded so far; ``width(metric)``
+    is the current Wilson interval width of a named proportion metric
+    (``1.0`` before any trial — the zero-information interval).  Nothing
+    else (no wall-clock, no scheduling) is visible, which is what keeps
+    adaptive stops bit-reproducible.
+    """
+
+    @property
+    def trials(self) -> int: ...  # pragma: no cover - protocol
+
+    def width(self, metric: str) -> float: ...  # pragma: no cover - protocol
+
+
+class StoppingRule:
+    """Decides, at a checkpoint, whether a run has earned its stop.
+
+    ``decision(progress)`` returns a short stop-reason string (e.g.
+    ``"target-width"``) to stop, or ``None`` to continue.  Rules must be
+    pure functions of the progress view — evaluated only at deterministic
+    checkpoint boundaries by :func:`consume_adaptive`, which is what makes
+    ``trials_used`` identical across backends and worker counts.
+
+    Compose with ``|`` (stop when either fires) and ``&`` (stop only when
+    both fire), or the :class:`Any` / :class:`All` combinators directly.
+    """
+
+    def decision(self, progress: Progress) -> Optional[str]:
+        raise NotImplementedError
+
+    def trial_cap(self) -> Optional[int]:
+        """The hard trial bound this rule guarantees, if any.
+
+        :func:`consume_adaptive` inserts an extra checkpoint exactly at the
+        cap, so declared bounds (``FixedBudget.trials``,
+        ``TargetWidth.max_trials``) are honored to the trial even when they
+        are not multiples of ``chunk``.  ``None`` means unbounded.
+        """
+        return None
+
+    def __or__(self, other: "StoppingRule") -> "Any":
+        return Any(self, other)
+
+    def __and__(self, other: "StoppingRule") -> "All":
+        return All(self, other)
+
+
+class FixedBudget(StoppingRule):
+    """The classical fixed budget, expressed as a rule: stop at ``trials``.
+
+    On its own it reproduces today's behavior exactly (the spec stream is
+    already capped, so the rule fires at exhaustion); composed, it is the
+    cap that bounds an open-ended :class:`TargetWidth` hunt.
+    """
+
+    def __init__(self, trials: int) -> None:
+        if trials < 1:
+            raise ValueError(f"budget trials must be >= 1, got {trials}")
+        self.trials = trials
+
+    def decision(self, progress: Progress) -> Optional[str]:
+        return STOP_BUDGET if progress.trials >= self.trials else None
+
+    def trial_cap(self) -> Optional[int]:
+        return self.trials
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedBudget({self.trials})"
+
+
+class TargetWidth(StoppingRule):
+    """Stop when ``metric``'s Wilson interval is at most ``width`` wide.
+
+    ``metric`` names a proportion the progress view exposes
+    (``agreement_rate`` for matrix cells; an estimate key for the
+    Monte-Carlo estimators).  ``min_trials`` refuses to stop before a
+    floor (checkpointing already imposes one chunk); ``max_trials`` is a
+    built-in cap for open-ended streams — with reason ``"max-trials"`` so
+    reports distinguish *converged* from *gave up*.
+    """
+
+    def __init__(
+        self,
+        width: float,
+        metric: str = "agreement_rate",
+        min_trials: int = 1,
+        max_trials: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < width <= 1.0:
+            raise ValueError(f"target width must be in (0, 1], got {width}")
+        if min_trials < 1:
+            raise ValueError(f"min_trials must be >= 1, got {min_trials}")
+        if max_trials is not None and max_trials < min_trials:
+            raise ValueError(
+                f"max_trials {max_trials} must be >= min_trials {min_trials}"
+            )
+        self.width = width
+        self.metric = metric
+        self.min_trials = min_trials
+        self.max_trials = max_trials
+
+    def decision(self, progress: Progress) -> Optional[str]:
+        trials = progress.trials
+        if trials >= self.min_trials and progress.width(self.metric) <= self.width:
+            return STOP_TARGET_WIDTH
+        if self.max_trials is not None and trials >= self.max_trials:
+            return STOP_MAX_TRIALS
+        return None
+
+    def trial_cap(self) -> Optional[int]:
+        return self.max_trials
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TargetWidth({self.width}, metric={self.metric!r}, "
+            f"min_trials={self.min_trials}, max_trials={self.max_trials})"
+        )
+
+
+class Any(StoppingRule):
+    """Stop when any member rule fires; the first firing rule's reason wins.
+
+    Member order is the tie-break (deterministic): ``Any(TargetWidth(...),
+    FixedBudget(...))`` reports ``"target-width"`` when both fire at the
+    same checkpoint.
+    """
+
+    def __init__(self, *rules: StoppingRule) -> None:
+        if not rules:
+            raise ValueError("Any() needs at least one rule")
+        self.rules = tuple(rules)
+
+    def decision(self, progress: Progress) -> Optional[str]:
+        for rule in self.rules:
+            reason = rule.decision(progress)
+            if reason is not None:
+                return reason
+        return None
+
+    def trial_cap(self) -> Optional[int]:
+        # Any member's cap stops the composite: the earliest one binds.
+        caps = [c for c in (r.trial_cap() for r in self.rules) if c is not None]
+        return min(caps) if caps else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Any({', '.join(map(repr, self.rules))})"
+
+
+class All(StoppingRule):
+    """Stop only when every member rule fires; reasons join with ``+``."""
+
+    def __init__(self, *rules: StoppingRule) -> None:
+        if not rules:
+            raise ValueError("All() needs at least one rule")
+        self.rules = tuple(rules)
+
+    def decision(self, progress: Progress) -> Optional[str]:
+        reasons = []
+        for rule in self.rules:
+            reason = rule.decision(progress)
+            if reason is None:
+                return None
+            reasons.append(reason)
+        return "+".join(reasons)
+
+    def trial_cap(self) -> Optional[int]:
+        # The composite stops only when every member fires, which a member
+        # without a cap never guarantees; with all capped, the last binds.
+        caps = [r.trial_cap() for r in self.rules]
+        if any(c is None for c in caps):
+            return None
+        return max(caps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"All({', '.join(map(repr, self.rules))})"
+
+
+class ProportionProgress:
+    """Progress view over named :class:`StreamingProportion` counters.
+
+    The Monte-Carlo estimators fold one counter per estimate key and hand
+    this adapter to the rule; ``width`` of an unknown metric raises a
+    KeyError that lists what *is* available (typo-proofing ``stopping=``).
+    """
+
+    def __init__(self, proportions: Dict[str, StreamingProportion]) -> None:
+        if not proportions:
+            raise ValueError("ProportionProgress needs at least one counter")
+        self._proportions = proportions
+
+    @property
+    def trials(self) -> int:
+        return max(p.trials for p in self._proportions.values())
+
+    def width(self, metric: str) -> float:
+        try:
+            proportion = self._proportions[metric]
+        except KeyError:
+            raise KeyError(
+                f"unknown stopping metric {metric!r}; available: "
+                f"{', '.join(sorted(self._proportions))}"
+            ) from None
+        return proportion.interval_width
+
+
+def consume_adaptive(
+    results: Iterable,
+    fold: Callable[[typing.Any], None],
+    progress: Progress,
+    rule: StoppingRule,
+    chunk: int = DEFAULT_CHUNK,
+) -> Tuple[int, str]:
+    """Fold a result stream until ``rule`` fires at a checkpoint boundary.
+
+    The single adaptive driver every surface shares: pull results in
+    submission order, ``fold`` each, and consult ``rule`` exactly when the
+    folded count is a multiple of ``chunk`` — plus at the rule's declared
+    :meth:`~StoppingRule.trial_cap` (so ``FixedBudget``/``max_trials``
+    bounds are honored to the trial even off the chunk grid, never
+    overshot) and once at stream exhaustion, where a silent rule resolves
+    to :data:`STOP_BUDGET` (the capped spec stream *was* the budget).
+    Returns ``(trials_used, stop_reason)``.
+
+    The stream is always explicitly closed on the way out (early stop,
+    exhaustion, or error), which is what releases a windowed backend
+    stream's in-flight work promptly; pass the stream with a ``window``
+    near ``chunk`` so an early stop abandons at most about one chunk of
+    trials.
+    """
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    cap = rule.trial_cap()
+    used = 0
+    reason: Optional[str] = None
+    try:
+        for value in results:
+            fold(value)
+            used += 1
+            at_cap = cap is not None and used >= cap
+            if used % chunk == 0 or at_cap:
+                reason = rule.decision(progress)
+                if reason is None and at_cap:
+                    # The cap is a hard bound even for a rule that (buggily
+                    # or conservatively) declines to fire at it.
+                    reason = STOP_MAX_TRIALS
+                if reason is not None:
+                    break
+    finally:
+        close = getattr(results, "close", None)
+        if close is not None:
+            close()
+    if reason is None:
+        reason = rule.decision(progress) or STOP_BUDGET
+    return used, reason

@@ -84,6 +84,7 @@ class AsyncioBackend(Backend):
         fn: Callable[[TrialSpec], Any],
         specs: Iterable[TrialSpec],
         count: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> Iterator[Any]:
         """Yield results in submission order with a bounded in-flight window.
 
@@ -92,7 +93,17 @@ class AsyncioBackend(Backend):
         Failures surface as :class:`~repro.harness.backends.base.TrialError`
         at the first failing trial in submission order (later in-flight
         trials complete in the background; their outcomes are discarded).
+
+        This backend is windowed by construction, so the seam's
+        bounded-window contract costs nothing: an explicit ``window``
+        merely caps the configured one, and dropping the stream drains at
+        most that many in-flight trials.
         """
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        effective_window = (
+            self.window if window is None else min(self.window, window)
+        )
         loop = self._get_loop()
         executor = self._get_executor()
         worker = functools.partial(execute_outcome, fn)
@@ -107,7 +118,7 @@ class AsyncioBackend(Backend):
             return True
 
         try:
-            while len(pending) < self.window and submit_next():
+            while len(pending) < effective_window and submit_next():
                 pass
             while pending:
                 outcome = loop.run_until_complete(pending.popleft())

@@ -190,6 +190,23 @@ class Backend:
     * :meth:`close` — release execution resources (idempotent; a later
       ``map``/``stream`` transparently re-acquires them).
 
+    **Bounded-window / cancellation contract** — ``stream(..., window=w)``
+    additionally promises, for adaptive early stopping:
+
+    * *bounded dispatch*: at most about ``w`` specs (within one
+      chunk/shard of rounding) are consumed from ``specs`` ahead of the
+      results already yielded, so a lazy seed range is never drained ahead
+      of the consumer;
+    * *prompt cancellation*: dropping the stream mid-iteration
+      (``generator.close()``, ``break``, error) abandons only that bounded
+      in-flight window — the backend finishes or discards it promptly and
+      its workers are immediately reusable; a following ``close()`` stays
+      on the graceful path (no terminate, no full-range drain).
+
+    Without ``window`` the historical contract holds: backends may read
+    ahead freely, and a dropped stream may leave unbounded queued work
+    (the pool backend then hard-terminates on close).
+
     Backends are context managers (``with make_backend("pool", 8) as b:``),
     closing on exit.
     """
@@ -215,8 +232,14 @@ class Backend:
         fn: Callable[[TrialSpec], Any],
         specs: Iterable[TrialSpec],
         count: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> Iterator[Any]:
-        """Lazily evaluate ``fn`` over ``specs`` in submission order."""
+        """Lazily evaluate ``fn`` over ``specs`` in submission order.
+
+        ``window`` (when given, >= 1) invokes the bounded-window /
+        cancellation contract above; ``None`` keeps the historical
+        free-running read-ahead.
+        """
         raise NotImplementedError
 
     def close(self) -> None:

@@ -17,9 +17,11 @@ reserved for :meth:`abort` — error paths where waiting is wrong — and
 from __future__ import annotations
 
 import functools
+import itertools
 import math
 import multiprocessing
 import multiprocessing.pool
+from collections import deque
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
 
 from .base import (
@@ -32,6 +34,13 @@ from .base import (
 )
 
 __all__ = ["ProcessPoolBackend"]
+
+
+def _run_batch(
+    fn: Callable[[TrialSpec], Any], batch: Sequence[TrialSpec]
+) -> List[Outcome]:
+    """Execute one windowed-dispatch batch in-worker (module-level: pickles)."""
+    return [execute_outcome(fn, spec) for spec in batch]
 
 
 class ProcessPoolBackend(Backend):
@@ -116,12 +125,25 @@ class ProcessPoolBackend(Backend):
         fn: Callable[[TrialSpec], Any],
         specs: Iterable[TrialSpec],
         count: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> Iterator[Any]:
         """Keep ``workers`` processes busy ahead of the consumer.
 
-        ``Pool.imap`` buffers out-of-order completions internally only
-        until their submission-order turn comes.
+        Without ``window``: ``Pool.imap``, whose feeder thread reads the
+        whole spec iterable ahead (out-of-order completions buffer
+        internally until their submission-order turn comes) — the fastest
+        path for fully-consumed streams, but an abandoned one leaves the
+        queue full and forces a terminating close.  With ``window``: the
+        bounded-window contract — explicit ``apply_async`` batches with at
+        most about ``window`` specs in flight, so early cancellation only
+        waits out that bounded remainder and the pool stays clean for a
+        graceful close.
         """
+        if window is not None:
+            if window < 1:
+                raise ValueError(f"window must be >= 1, got {window}")
+            yield from self._stream_windowed(fn, specs, count, window)
+            return
         worker = functools.partial(execute_outcome, fn)
         pool = self._get_pool()
         results = pool.imap(worker, specs, chunksize=self._chunk(count))
@@ -150,6 +172,59 @@ class ProcessPoolBackend(Backend):
         finally:
             if not finished:
                 self._dirty = True
+
+    def _stream_windowed(
+        self,
+        fn: Callable[[TrialSpec], Any],
+        specs: Iterable[TrialSpec],
+        count: Optional[int],
+        window: int,
+    ) -> Iterator[Any]:
+        """Bounded-window streaming: batches via ``apply_async``, in order.
+
+        At most ``window // batch`` batches are in flight, so specs are
+        consumed at most about ``window`` ahead of the results yielded.
+        Batches are sized so the window spreads across *every* worker
+        (one batch per worker when the window allows), not clamped to the
+        IPC-amortizing stream chunk — a window-sized slice of a large
+        stream must still saturate the pool.  Dropping the generator waits
+        out only those in-flight batches (bounded — the whole point), so
+        the pool is never marked dirty and a following :meth:`close` stays
+        graceful.
+        """
+        batch_size = max(
+            1, min(self._chunk(count), window // self.workers, window)
+        )
+        max_batches = max(1, window // batch_size)
+        pool = self._get_pool()
+        worker = functools.partial(_run_batch, fn)
+        spec_iter = iter(specs)
+        pending: "deque[multiprocessing.pool.AsyncResult]" = deque()
+
+        def submit() -> bool:
+            batch = tuple(itertools.islice(spec_iter, batch_size))
+            if not batch:
+                return False
+            pending.append(pool.apply_async(worker, (batch,)))
+            return True
+
+        try:
+            while len(pending) < max_batches and submit():
+                pass
+            while pending:
+                outcomes = pending.popleft().get()
+                submit()
+                for outcome in outcomes:
+                    yield outcome.unwrap()
+        finally:
+            # Cancellation path: the feeder is this generator, so nothing
+            # beyond ``pending`` was ever queued.  Wait the bounded
+            # remainder out; workers are then idle and reusable.
+            while pending:
+                try:
+                    pending.popleft().wait()
+                except Exception:  # pragma: no cover - defensive
+                    pass
 
     def close(self) -> None:
         """Graceful teardown: finish in-flight chunks, then join workers.

@@ -42,8 +42,13 @@ class SerialBackend(Backend):
         fn: Callable[[TrialSpec], Any],
         specs: Iterable[TrialSpec],
         count: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> Iterator[Any]:
-        """Fully lazy: a trial runs only when its result is pulled."""
+        """Fully lazy: a trial runs only when its result is pulled.
+
+        Zero read-ahead, so any ``window`` is trivially honored and a
+        dropped stream abandons nothing.
+        """
         for spec in specs:
             try:
                 yield fn(spec)

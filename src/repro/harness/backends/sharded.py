@@ -144,17 +144,36 @@ class ShardedBackend(Backend):
         fn: Callable[[TrialSpec], Any],
         specs: Iterable[TrialSpec],
         count: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> Iterator[Any]:
+        """Stream shard results, flattened back to trial granularity.
+
+        ``window`` (in trials) converts to a shard-granular window on the
+        inner stream — for a window smaller than the shard size the
+        effective bound is one shard — and the inner stream is explicitly
+        closed on the way out, so dropping this stream cancels promptly
+        through the whole backend stack (inner pools stay clean).
+        """
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        size = self._shard_size_for(count)
         shards = self._shards(specs, count)
-        shard_count = (
-            None
-            if count is None
-            else math.ceil(count / self._shard_size_for(count))
+        shard_count = None if count is None else math.ceil(count / size)
+        inner_window = (
+            None if window is None else max(1, math.ceil(window / size))
         )
         runner = _ShardTask(fn)
-        for outcomes in self.inner.stream(runner, shards, count=shard_count):
-            for outcome in outcomes:
-                yield outcome.unwrap()
+        inner_stream = self.inner.stream(
+            runner, shards, count=shard_count, window=inner_window
+        )
+        try:
+            for outcomes in inner_stream:
+                for outcome in outcomes:
+                    yield outcome.unwrap()
+        finally:
+            close = getattr(inner_stream, "close", None)
+            if close is not None:
+                close()
 
     def map_reduce(
         self,

@@ -56,11 +56,25 @@ def wilson_interval(
 
     Preferred over the normal approximation because our proportions sit very
     close to 0 or 1 (agreement-violation probabilities are ~exp(−Θ(√n))).
+
+    Degenerate cells are well-defined rather than errors, so stopping rules
+    can trust the interval from trial zero onward:
+
+    * ``trials == 0`` (with ``successes == 0``) — the zero-information
+      interval ``(0.0, 1.0)``;
+    * ``successes == 0`` — the lower endpoint is exactly ``0.0``;
+    * ``successes == trials`` — the upper endpoint is exactly ``1.0``
+      (pinned explicitly: the algebraic cancellation that makes it 1 is not
+      exact in floating point).
+
+    Negative trials and out-of-range success counts still raise.
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
     if not 0 <= successes <= trials:
         raise ValueError(f"successes {successes} out of range [0, {trials}]")
+    if trials == 0:
+        return 0.0, 1.0
     p = successes / trials
     denom = 1 + z**2 / trials
     center = (p + z**2 / (2 * trials)) / denom
@@ -69,7 +83,9 @@ def wilson_interval(
         * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
         / denom
     )
-    return max(0.0, center - margin), min(1.0, center + margin)
+    low = 0.0 if successes == 0 else max(0.0, center - margin)
+    high = 1.0 if successes == trials else min(1.0, center + margin)
+    return low, high
 
 
 class Welford:
@@ -174,6 +190,10 @@ class StreamingProportion:
     The incremental sibling of :class:`ProportionEstimate`: feed it one
     boolean outcome at a time (O(1) memory) and read the same point
     estimate/interval the batch class would compute from the full list.
+    The interval is total — ``(0.0, 1.0)`` before any trial, endpoints
+    pinned exactly at all-success/all-failure (see :func:`wilson_interval`)
+    — so adaptive stopping rules can consult it at every checkpoint without
+    guarding degenerate cells.
     """
 
     __slots__ = ("successes", "trials")
@@ -200,6 +220,12 @@ class StreamingProportion:
     @property
     def interval(self) -> Tuple[float, float]:
         return wilson_interval(self.successes, self.trials)
+
+    @property
+    def interval_width(self) -> float:
+        """Width of the Wilson interval (1.0 before any trial)."""
+        low, high = self.interval
+        return high - low
 
     def as_estimate(self) -> "ProportionEstimate":
         """Freeze into the batch-side :class:`ProportionEstimate`."""

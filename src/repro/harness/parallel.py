@@ -211,6 +211,7 @@ class ExperimentEngine:
         fn: Callable[[TrialSpec], Any],
         specs: Iterable[TrialSpec],
         count: Optional[int] = None,
+        window: Optional[int] = None,
     ) -> Iterator[Any]:
         """Lazily evaluate ``fn`` over ``specs``, yielding in submission order.
 
@@ -223,8 +224,18 @@ class ExperimentEngine:
         total is known so batching backends size their chunks/shards to
         spread small streams across all workers (without it, they fall back
         to :data:`~repro.harness.backends.base.STREAM_CHUNK`-sized batches).
+
+        ``window`` invokes the backend seam's **bounded-window /
+        cancellation contract** (see :class:`~repro.harness.backends.base.
+        Backend`): at most about ``window`` specs are dispatched ahead of
+        the results consumed, and dropping the stream mid-iteration
+        abandons only that bounded in-flight window — the chunked-dispatch
+        mode adaptive stopping (:mod:`repro.harness.adaptive`) relies on to
+        cancel a cell without draining its full seed range.
         """
-        return self._backend.stream(fn, specs, count=count)
+        if window is None:
+            return self._backend.stream(fn, specs, count=count)
+        return self._backend.stream(fn, specs, count=count, window=window)
 
     def run_stream(
         self,
@@ -232,13 +243,17 @@ class ExperimentEngine:
         trials: int,
         master_seed: int = 0,
         params: Any = None,
+        window: Optional[int] = None,
     ) -> Iterator[Any]:
         """Stream ``trials`` seeded trials of ``fn`` under ``master_seed``.
 
         The streaming sibling of :meth:`run_trials`: trial ``i`` receives
         ``TrialSpec(i, derive_seed(master_seed, i), params)`` and results
         arrive lazily in trial order — specs are generated on the fly, so
-        neither inputs nor outputs are ever materialized here.
+        neither inputs nor outputs are ever materialized here.  ``window``
+        enables bounded/cancellable dispatch exactly as on :meth:`stream`
+        (an adaptive consumer stopping early then wastes at most about one
+        window of seeded trials).
         """
         if trials < 0:
             raise ValueError(f"trials must be >= 0, got {trials}")
@@ -246,7 +261,7 @@ class ExperimentEngine:
             TrialSpec(index=i, seed=derive_seed(master_seed, i), params=params)
             for i in range(trials)
         )
-        return self.stream(fn, specs, count=trials)
+        return self.stream(fn, specs, count=trials, window=window)
 
     # ------------------------------------------------------------------
     # Trial fan-out

@@ -7,6 +7,11 @@ Split in two so the interesting logic needs no plotting backend:
   with per-cell aggregate rows) into ``PlotSeries`` objects: one labelled
   ``(x, y, y_err)`` polyline per (protocol, adversary, latency) cell,
   indexed by system size ``n``.  Fully unit-testable without matplotlib.
+  Any numeric row column plots — including the ``interval_width`` column
+  (the achieved agreement-interval width, the quantity adaptive
+  ``--target-width`` runs drive to a target) and adaptive runs'
+  ``trials_used`` (what each cell actually cost); non-numeric columns
+  like ``stop_reason`` are rejected with a clear error.
 * **gated rendering** — :func:`render_plot` imports matplotlib lazily and
   raises :class:`PlottingUnavailableError` with an actionable message when
   it is missing (the container's toolchain does not bake it in).
@@ -131,6 +136,12 @@ def report_series(
         value = row[metric]
         if value is None:  # JSON null — e.g. decision time when undecided
             continue
+        if isinstance(value, str):
+            raise ValueError(
+                f"metric {metric!r} is non-numeric (e.g. {value!r}); pick a "
+                "numeric column such as agreement_rate, interval_width, or "
+                "trials_used"
+            )
         label = f"{row['protocol']}/{row['adversary']}/{row['latency']}"
         entry = series.setdefault(label, PlotSeries(label=label))
         entry.add(float(x), float(value), _row_error(row, metric))

@@ -47,6 +47,13 @@ from ..net.faults import ComposedChaos, PreGstChaos, ReceiverTargetedChaos
 from ..net.latency import ConstantLatency, ExponentialLatency, UniformLatency
 from ..sync.timeouts import FixedTimeout
 from . import scenarios as _scenarios
+from .adaptive import (
+    DEFAULT_CHUNK,
+    FixedBudget,
+    StoppingRule,
+    TargetWidth,
+    consume_adaptive,
+)
 from .backends import Backend
 from .metrics import StreamingProportion, Welford
 from .parallel import ExperimentEngine, TrialSpec, derive_seed, engine_scope
@@ -312,6 +319,12 @@ class ScenarioMatrix:
     then the runner's fallback.  Budgets apply when :func:`run_matrix` is
     called without an explicit ``trials`` override — big matrices spend
     their trials where the variance is (adversarial cells), not uniformly.
+
+    ``target_width`` / ``target_widths`` declare **adaptive** budgets with
+    the same key scheme: a cell with a target width stops as soon as its
+    agreement-rate Wilson interval is at most that wide (evaluated every
+    ``chunk`` trials by :func:`run_matrix`), with the cell's trial budget
+    as the hard cap — budgets become worst cases instead of fixed costs.
     """
 
     name: str
@@ -323,6 +336,11 @@ class ScenarioMatrix:
     description: str = ""
     budget: Optional[int] = None
     budgets: Tuple[Tuple[str, int], ...] = ()
+    #: Uniform adaptive target for the agreement-rate Wilson interval width
+    #: (None = fixed budgets); ``target_widths`` overrides per cell with
+    #: the same label-beats-adversary matching as ``budgets``.
+    target_width: Optional[float] = None
+    target_widths: Tuple[Tuple[str, float], ...] = ()
     #: Account per-message bytes in every cell (populates the byte-cost
     #: report columns; costs one canonical encode per distinct message).
     track_bytes: bool = False
@@ -346,6 +364,15 @@ class ScenarioMatrix:
                 )
         if self.budget is not None and self.budget < 1:
             raise ValueError(f"budget must be >= 1, got {self.budget}")
+        for key, width in self.target_widths:
+            if not 0.0 < width <= 1.0:
+                raise ValueError(
+                    f"target width for {key!r} must be in (0, 1], got {width}"
+                )
+        if self.target_width is not None and not 0.0 < self.target_width <= 1.0:
+            raise ValueError(
+                f"target_width must be in (0, 1], got {self.target_width}"
+            )
 
     def resolved_f(self) -> int:
         return self.f if self.f is not None else ProtocolConfig(n=self.n).f
@@ -383,6 +410,21 @@ class ScenarioMatrix:
             return budgets[cell.adversary]
         return self.budget if self.budget is not None else fallback
 
+    def cell_target_width(self, cell: MatrixCell) -> Optional[float]:
+        """The adaptive width target for one cell (same matching as budgets);
+        ``None`` means the cell runs its fixed budget."""
+        widths = dict(self.target_widths)
+        if cell.label in widths:
+            return widths[cell.label]
+        if cell.adversary in widths:
+            return widths[cell.adversary]
+        return self.target_width
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether any cell declares an adaptive width target."""
+        return self.target_width is not None or bool(self.target_widths)
+
     def total_trials(self, fallback: int = 1) -> int:
         """Total trials across supported cells under the matrix budgets."""
         return sum(self.cell_trials(c, fallback) for c in self.cells())
@@ -406,6 +448,8 @@ class ScenarioMatrix:
             description=self.description,
             budget=self.budget,
             budgets=self.budgets,
+            target_width=self.target_width,
+            target_widths=self.target_widths,
             track_bytes=self.track_bytes,
         )
 
@@ -419,6 +463,10 @@ class CellAccumulator:
     :class:`~repro.harness.metrics.StreamingProportion` for the
     agreement-rate Wilson interval.  A 10⁵-trial cell costs a handful of
     floats, not 10⁵ dicts.
+
+    Doubles as the progress view adaptive stopping rules consume
+    (:mod:`repro.harness.adaptive`): ``trials`` plus :meth:`width` over the
+    cell's proportion metrics.
     """
 
     def __init__(self, cell: MatrixCell) -> None:
@@ -468,12 +516,29 @@ class CellAccumulator:
         self._bytes.merge(other._bytes)
         return self
 
+    def width(self, metric: str = "agreement_rate") -> float:
+        """Current Wilson interval width of a proportion metric.
+
+        The progress hook for adaptive stopping: 1.0 before any trial (the
+        zero-information interval), shrinking as trials fold in.  Unknown
+        metrics raise a KeyError that names what is available.
+        """
+        if metric != "agreement_rate":
+            raise KeyError(
+                f"unknown stopping metric {metric!r}; available: "
+                f"agreement_rate"
+            )
+        return self._agreement_prop.interval_width
+
     def summary(self) -> Dict[str, Any]:
         """The per-cell report row (means, rates, intervals, and costs).
 
         The cost columns (``mean_messages``/``mean_bytes`` with stderr
         companions) reproduce communication-cost comparisons; bytes are 0
         unless the cell was built with ``track_bytes=True``.
+        ``interval_width`` is the achieved agreement-interval width — the
+        quantity adaptive runs drive to a target, reported for fixed runs
+        too so budget choices can be audited after the fact.
         """
         agreement_low, agreement_high = self._agreement_prop.interval
         return {
@@ -486,6 +551,7 @@ class CellAccumulator:
             "agreement_rate": self._agreement.mean,
             "agreement_ci_low": round(agreement_low, 4),
             "agreement_ci_high": round(agreement_high, 4),
+            "interval_width": round(agreement_high - agreement_low, 4),
             "mean_max_view": self._max_view.mean,
             "mean_decision_time": round(self._decision_time.mean, 3),
             "mean_messages": round(self._messages.mean, 1),
@@ -501,26 +567,51 @@ class MatrixReport:
 
     ``trials`` is the uniform per-cell override the caller requested, or
     ``None`` when per-cell matrix budgets applied (each row's ``trials``
-    column carries its own count either way).
+    column carries its own count either way).  Adaptive runs additionally
+    carry ``target_width``/``chunk`` and per-row ``trials_used`` /
+    ``stop_reason`` columns.
     """
 
     matrix: str
     trials: Optional[int]
     master_seed: int
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Uniform adaptive width target this report ran under (None = fixed
+    #: budgets or per-matrix widths; the rows tell the per-cell story).
+    target_width: Optional[float] = None
+    #: Checkpoint period adaptive rules were evaluated at (None = fixed).
+    chunk: Optional[int] = None
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether this report ran adaptively.
+
+        ``chunk`` is the canonical signal (:func:`run_matrix` sets it only
+        for adaptive runs, so even an empty-celled adaptive report keeps
+        its metadata); the row sniff keeps hand-assembled reports'
+        ``headers``/``table_rows`` consistent.
+        """
+        return self.chunk is not None or (
+            bool(self.rows) and "trials_used" in self.rows[0]
+        )
 
     @property
     def headers(self) -> List[str]:
-        return [
+        head = [
             "protocol",
             "adversary",
             "latency",
             "trials",
+        ]
+        if self.adaptive:
+            head += ["trials_used", "stop_reason"]
+        return head + [
             "decide_rate",
             "decide_stderr",
             "agreement_rate",
             "agreement_ci_low",
             "agreement_ci_high",
+            "interval_width",
             "mean_max_view",
             "mean_decision_time",
             "mean_messages",
@@ -545,6 +636,9 @@ def run_matrix(
     engine: Optional[ExperimentEngine] = None,
     max_time: float = 5000.0,
     backend: Optional[Union[str, Backend]] = None,
+    target_width: Optional[float] = None,
+    stopping: Optional[StoppingRule] = None,
+    chunk: int = DEFAULT_CHUNK,
 ) -> MatrixReport:
     """Stream every supported cell's trials and aggregate per cell.
 
@@ -557,36 +651,115 @@ def run_matrix(
     where trials run; aggregation is always the same submission-order
     fold).  Because results fold into :class:`CellAccumulator` as they
     arrive, memory stays constant in the number of trials.
+
+    **Adaptive budgets** — ``target_width`` (uniform), the matrix's own
+    ``target_width``/``target_widths``, or an explicit ``stopping`` rule
+    turn each cell's budget into a worst case: the cell streams through a
+    bounded (``window=chunk``) dispatch and stops at the first ``chunk``
+    boundary where its agreement-rate Wilson interval is at most the
+    target width (rule evaluation is deterministic, so ``trials_used`` is
+    identical on every backend).  Seeds still come from the *fixed-budget*
+    global index layout, so an adaptive cell's estimates are bit-identical
+    to the same-length prefix of the fixed-budget run, and rows gain
+    ``trials_used`` / ``stop_reason`` columns (``trials`` keeps the cap).
+    ``stopping`` (mutually exclusive with ``target_width``) applies one
+    rule to every cell for custom compositions.
     """
     if trials is not None and trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    if stopping is not None and target_width is not None:
+        raise ValueError("pass target_width or stopping, not both")
+    if target_width is not None and not 0.0 < target_width <= 1.0:
+        raise ValueError(f"target_width must be in (0, 1], got {target_width}")
     cells = matrix.cells(supported_only=True)
     counts = [
         trials if trials is not None else matrix.cell_trials(c)
         for c in cells
     ]
-
-    def specs() -> Iterator[TrialSpec]:
-        index = 0
-        for cell, count in zip(cells, counts):
-            for _ in range(count):
-                yield TrialSpec(
-                    index=index,
-                    seed=derive_seed(master_seed, index),
-                    params=(cell, max_time),
-                )
-                index += 1
+    adaptive = (
+        stopping is not None or target_width is not None or matrix.adaptive
+    )
 
     report = MatrixReport(
-        matrix=matrix.name, trials=trials, master_seed=master_seed
+        matrix=matrix.name,
+        trials=trials,
+        master_seed=master_seed,
+        target_width=target_width,
+        chunk=chunk if adaptive else None,
     )
+    if not adaptive:
+        # Fixed budgets: one uninterrupted stream over every cell's specs.
+        def specs() -> Iterator[TrialSpec]:
+            index = 0
+            for cell, count in zip(cells, counts):
+                for _ in range(count):
+                    yield TrialSpec(
+                        index=index,
+                        seed=derive_seed(master_seed, index),
+                        params=(cell, max_time),
+                    )
+                    index += 1
+
+        with engine_scope(engine, workers, backend) as resolved:
+            results = resolved.stream(
+                run_matrix_cell, specs(), count=sum(counts)
+            )
+            for cell, count in zip(cells, counts):
+                accumulator = CellAccumulator(cell)
+                for _ in range(count):
+                    accumulator.add(next(results))
+                report.rows.append(accumulator.summary())
+        return report
+
+    # Adaptive budgets: one bounded-window stream per cell, early-cancelled
+    # at the first satisfying checkpoint.  Each cell's trial j keeps the
+    # global index it would have in the fixed-budget run (bases derive from
+    # the *caps*, never from earlier cells' adaptive usage), which is what
+    # makes every adaptive cell a bit-identical prefix of the fixed run.
+    bases = [0] * len(counts)
+    for k in range(1, len(counts)):
+        bases[k] = bases[k - 1] + counts[k - 1]
+
+    def cell_specs(cell: MatrixCell, base: int, cap: int) -> Iterator[TrialSpec]:
+        for j in range(cap):
+            yield TrialSpec(
+                index=base + j,
+                seed=derive_seed(master_seed, base + j),
+                params=(cell, max_time),
+            )
+
     with engine_scope(engine, workers, backend) as resolved:
-        results = resolved.stream(run_matrix_cell, specs(), count=sum(counts))
-        for cell, count in zip(cells, counts):
+        for cell, cap, base in zip(cells, counts, bases):
+            if stopping is not None:
+                rule: StoppingRule = stopping
+            else:
+                width = (
+                    target_width
+                    if target_width is not None
+                    else matrix.cell_target_width(cell)
+                )
+                rule = (
+                    TargetWidth(width, metric="agreement_rate", max_trials=cap)
+                    if width is not None
+                    else FixedBudget(cap)
+                )
             accumulator = CellAccumulator(cell)
-            for _ in range(count):
-                accumulator.add(next(results))
-            report.rows.append(accumulator.summary())
+            results = resolved.stream(
+                run_matrix_cell,
+                cell_specs(cell, base, cap),
+                count=cap,
+                window=chunk,
+            )
+            used, reason = consume_adaptive(
+                results, accumulator.add, accumulator, rule, chunk
+            )
+            row = accumulator.summary()
+            row["trials"] = cap
+            row["trials_used"] = used
+            row["stop_reason"] = reason
+            report.rows.append(row)
     return report
 
 
@@ -639,6 +812,20 @@ MATRICES: Dict[str, ScenarioMatrix] = {
             "Every protocol × every adversary (incl. the PBFT/HotStuff "
             "equivocation/flooding analogues) at n=8 — the no-unsupported-"
             "cells audit; the CI matrix-completeness smoke target."
+        ),
+    ),
+    "adaptive-demo": ScenarioMatrix(
+        name="adaptive-demo",
+        protocols=("probft",),
+        adversaries=("none", "silent"),
+        latencies=("constant",),
+        n=8,
+        budget=64,
+        target_width=0.2,
+        description=(
+            "Adaptive Wilson-width budgets: each n=8 cell stops at the "
+            "first checkpoint where its agreement interval is <= 0.2 wide "
+            "(trial budget 64 is the worst case, not the cost)."
         ),
     ),
     "byte-costs": ScenarioMatrix(

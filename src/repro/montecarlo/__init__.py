@@ -17,6 +17,7 @@ from .experiments import (
     estimate_termination,
     estimate_agreement_violation,
     estimate_protocol_agreement,
+    estimate_viewchange_decide,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "estimate_termination",
     "estimate_agreement_violation",
     "estimate_protocol_agreement",
+    "estimate_viewchange_decide",
 ]

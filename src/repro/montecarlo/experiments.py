@@ -18,17 +18,31 @@ across a process pool (``workers=k``), or on any other execution backend
 and independent of completion order.  Pass ``workers=``/``backend=`` for
 one-off parallelism or ``engine=`` to share a configured engine across
 calls.
+
+Every estimator also takes ``stopping=`` — an adaptive
+:class:`~repro.harness.adaptive.StoppingRule` (e.g. ``TargetWidth(0.02,
+metric="per_replica_decides")``) evaluated every ``chunk`` trials on the
+streaming Wilson counters, with ``trials`` as the hard cap.  An adaptive
+run's result is bit-identical to the same-length prefix of the fixed run
+(seeds are counter-derived), ``result.trials`` reports what was actually
+spent, and ``result.stop_reason`` says why the run ended.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import ProtocolConfig, probabilistic_quorum_size, vrf_sample_size
-from ..harness.metrics import ProportionEstimate
+from ..harness.adaptive import (
+    DEFAULT_CHUNK,
+    ProportionProgress,
+    StoppingRule,
+    consume_adaptive,
+)
+from ..harness.metrics import ProportionEstimate, StreamingProportion
 from ..harness.backends import Backend
 from ..harness.parallel import ExperimentEngine, TrialSpec, engine_scope
 from .sampling import inclusion_counts, membership_matrix
@@ -36,10 +50,16 @@ from .sampling import inclusion_counts, membership_matrix
 
 @dataclass
 class MonteCarloResult:
-    """Outcome of a sampling-level experiment."""
+    """Outcome of a sampling-level experiment.
+
+    ``trials`` is what actually ran; ``stop_reason`` is ``None`` for fixed
+    budgets and the stopping rule's reason (``"target-width"``/
+    ``"budget"``/...) for adaptive runs.
+    """
 
     trials: int
     estimates: Dict[str, ProportionEstimate] = field(default_factory=dict)
+    stop_reason: Optional[str] = None
 
     def point(self, key: str) -> float:
         return self.estimates[key].point
@@ -54,6 +74,45 @@ def _sizes(n: int, o: float, l: float) -> tuple:
     q = probabilistic_quorum_size(n, l)
     s = vrf_sample_size(n, q, o)
     return q, s
+
+
+def _collect_trials(
+    eng: ExperimentEngine,
+    fn: Callable[[TrialSpec], Any],
+    trials: int,
+    seed: int,
+    params: Any,
+    stopping: Optional[StoppingRule],
+    chunk: int,
+    metrics: Dict[str, Callable[[Any], bool]],
+) -> Tuple[List[Any], int, Optional[str]]:
+    """Run an estimator's trials, fixed or adaptive; returns the rows.
+
+    ``stopping=None`` is the classical fixed budget (materialized
+    ``run_trials``).  With a rule, rows stream through a bounded
+    (``window=chunk``) dispatch while per-metric Wilson counters fold
+    online; the rule sees them as a :class:`ProportionProgress` at every
+    ``chunk`` boundary and ``trials`` caps the stream — so the returned
+    prefix is bit-identical to the first ``len(rows)`` rows of the fixed
+    run, whatever the backend.  ``metrics`` maps each stoppable metric
+    name (the estimate keys) to its boolean extractor over one row.
+    """
+    if stopping is None:
+        return eng.run_trials(fn, trials, master_seed=seed, params=params), trials, None
+    proportions = {name: StreamingProportion() for name in metrics}
+    progress = ProportionProgress(proportions)
+    rows: List[Any] = []
+
+    def fold(row: Any) -> None:
+        rows.append(row)
+        for name, extract in metrics.items():
+            proportions[name].add(bool(extract(row)))
+
+    results = eng.run_stream(
+        fn, trials, master_seed=seed, params=params, window=chunk
+    )
+    used, reason = consume_adaptive(results, fold, progress, stopping, chunk)
+    return rows, used, reason
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +231,8 @@ def estimate_prepare_quorum(
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    stopping: Optional[StoppingRule] = None,
+    chunk: int = DEFAULT_CHUNK,
 ) -> MonteCarloResult:
     """Probability of forming a prepare quorum when all correct replicas send.
 
@@ -180,17 +241,28 @@ def estimate_prepare_quorum(
     """
     q, s = _sizes(n, o, l)
     with engine_scope(engine, workers, backend) as eng:
-        rows = eng.run_trials(
-            _prepare_quorum_trial, trials, master_seed=seed, params=(n, f, q, s)
+        rows, used, reason = _collect_trials(
+            eng,
+            _prepare_quorum_trial,
+            trials,
+            seed,
+            (n, f, q, s),
+            stopping,
+            chunk,
+            metrics={
+                "per_replica_quorum": lambda row: row[0],
+                "all_correct_quorum": lambda row: row[1],
+            },
         )
     replica_hits = sum(r for r, _ in rows)
     all_hits = sum(a for _, a in rows)
     return MonteCarloResult(
-        trials=trials,
+        trials=used,
         estimates={
-            "per_replica_quorum": ProportionEstimate(replica_hits, trials),
-            "all_correct_quorum": ProportionEstimate(all_hits, trials),
+            "per_replica_quorum": ProportionEstimate(replica_hits, used),
+            "all_correct_quorum": ProportionEstimate(all_hits, used),
         },
+        stop_reason=reason,
     )
 
 
@@ -204,6 +276,8 @@ def estimate_termination(
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    stopping: Optional[StoppingRule] = None,
+    chunk: int = DEFAULT_CHUNK,
 ) -> MonteCarloResult:
     """Termination in a correct-leader view (Figure 5 right panels).
 
@@ -215,18 +289,29 @@ def estimate_termination(
     """
     q, s = _sizes(n, o, l)
     with engine_scope(engine, workers, backend) as eng:
-        rows = eng.run_trials(
-            _termination_trial, trials, master_seed=seed, params=(n, f, q, s)
+        rows, used, reason = _collect_trials(
+            eng,
+            _termination_trial,
+            trials,
+            seed,
+            (n, f, q, s),
+            stopping,
+            chunk,
+            metrics={
+                "per_replica_decides": lambda row: row[0],
+                "all_correct_decide": lambda row: row[1],
+            },
         )
     decide_hits = sum(d for d, _, _ in rows)
     all_decide_hits = sum(a for _, a, _ in rows)
     prepared_fracs = [frac for _, _, frac in rows]
     result = MonteCarloResult(
-        trials=trials,
+        trials=used,
         estimates={
-            "per_replica_decides": ProportionEstimate(decide_hits, trials),
-            "all_correct_decide": ProportionEstimate(all_decide_hits, trials),
+            "per_replica_decides": ProportionEstimate(decide_hits, used),
+            "all_correct_decide": ProportionEstimate(all_decide_hits, used),
         },
+        stop_reason=reason,
     )
     result.mean_prepared_fraction = float(np.mean(prepared_fracs))
     return result
@@ -243,6 +328,8 @@ def estimate_agreement_violation(
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    stopping: Optional[StoppingRule] = None,
+    chunk: int = DEFAULT_CHUNK,
 ) -> MonteCarloResult:
     """The optimal-split attack (Figure 4c) at the sampling level.
 
@@ -259,24 +346,34 @@ def estimate_agreement_violation(
       protocol, in which such replicas block the view instead of deciding).
     """
     q, s = _sizes(n, o, l)
+    metrics: Dict[str, Callable[[Any], bool]] = {
+        "side_decides_fixed": lambda row: row[0],
+        "violation_quorums": lambda row: row[1],
+    }
+    if model_detection:
+        metrics["violation_detected"] = lambda row: row[2]
     with engine_scope(engine, workers, backend) as eng:
-        rows = eng.run_trials(
+        rows, used, reason = _collect_trials(
+            eng,
             _agreement_violation_trial,
             trials,
-            master_seed=seed,
-            params=(n, f, q, s, model_detection),
+            seed,
+            (n, f, q, s, model_detection),
+            stopping,
+            chunk,
+            metrics=metrics,
         )
     side_fixed_hits = sum(sf for sf, _, _ in rows)
     violation_hits = sum(v for _, v, _ in rows)
     estimates = {
-        "side_decides_fixed": ProportionEstimate(side_fixed_hits, trials),
-        "violation_quorums": ProportionEstimate(violation_hits, trials),
+        "side_decides_fixed": ProportionEstimate(side_fixed_hits, used),
+        "violation_quorums": ProportionEstimate(violation_hits, used),
     }
     if model_detection:
         estimates["violation_detected"] = ProportionEstimate(
-            sum(vd for _, _, vd in rows), trials
+            sum(vd for _, _, vd in rows), used
         )
-    return MonteCarloResult(trials=trials, estimates=estimates)
+    return MonteCarloResult(trials=used, estimates=estimates, stop_reason=reason)
 
 
 def estimate_protocol_agreement(
@@ -287,30 +384,41 @@ def estimate_protocol_agreement(
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    stopping: Optional[StoppingRule] = None,
+    chunk: int = DEFAULT_CHUNK,
 ) -> MonteCarloResult:
     """Full-protocol agreement under the optimal equivocation attack.
 
     Runs the real discrete-event simulation ``trials`` times with
     engine-derived per-trial seeds and counts actual disagreement among
     correct replicas.  Slow; intended for modest trial counts — but each
-    trial is a whole simulation, so this is also where ``workers>1`` pays
-    off most.
+    trial is a whole simulation, so this is also where ``workers>1`` (and
+    an adaptive ``stopping=`` rule: every trial saved is a whole
+    simulation not run) pays off most.
     """
     with engine_scope(engine, workers, backend) as eng:
-        rows = eng.run_trials(
+        rows, used, reason = _collect_trials(
+            eng,
             _protocol_agreement_trial,
             trials,
-            master_seed=seed,
-            params=(config, max_time),
+            seed,
+            (config, max_time),
+            stopping,
+            chunk,
+            metrics={
+                "violation_full_protocol": lambda row: row[0],
+                "undecided_runs": lambda row: row[1],
+            },
         )
     violation_hits = sum(v for v, _ in rows)
     undecided_runs = sum(u for _, u in rows)
     return MonteCarloResult(
-        trials=trials,
+        trials=used,
         estimates={
-            "violation_full_protocol": ProportionEstimate(violation_hits, trials),
-            "undecided_runs": ProportionEstimate(undecided_runs, trials),
+            "violation_full_protocol": ProportionEstimate(violation_hits, used),
+            "undecided_runs": ProportionEstimate(undecided_runs, used),
         },
+        stop_reason=reason,
     )
 
 
@@ -325,6 +433,8 @@ def estimate_viewchange_decide(
     workers: int = 0,
     engine: Optional[ExperimentEngine] = None,
     backend: Optional[Union[str, Backend]] = None,
+    stopping: Optional[StoppingRule] = None,
+    chunk: int = DEFAULT_CHUNK,
 ) -> MonteCarloResult:
     """Lemma 6 / Theorem 8's scenario: only ``prepared`` replicas committed.
 
@@ -336,11 +446,21 @@ def estimate_viewchange_decide(
     q, s = _sizes(n, o, l)
     r = prepared if prepared is not None else (n + f) // 2
     with engine_scope(engine, workers, backend) as eng:
-        rows = eng.run_trials(
-            _viewchange_trial, trials, master_seed=seed, params=(n, r, q, s)
+        rows, used, reason = _collect_trials(
+            eng,
+            _viewchange_trial,
+            trials,
+            seed,
+            (n, r, q, s),
+            stopping,
+            chunk,
+            metrics={"decides_from_partial_prepare": lambda row: row},
         )
     hits = sum(rows)
     return MonteCarloResult(
-        trials=trials,
-        estimates={"decides_from_partial_prepare": ProportionEstimate(hits, trials)},
+        trials=used,
+        estimates={
+            "decides_from_partial_prepare": ProportionEstimate(hits, used)
+        },
+        stop_reason=reason,
     )

@@ -1,0 +1,345 @@
+"""Property-based tests for the accumulator merge algebra.
+
+The sharded/distributed fan-in rests on three algebraic claims about
+``Welford.merge`` / ``StreamingProportion.merge`` / ``CellAccumulator.merge``:
+
+* **merge-of-splits == batch** — accumulators built over any ordered
+  partition of a stream, merged in partition order, equal the single
+  accumulator over the whole stream;
+* **associativity** — ``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)``;
+* **commutativity-with-reordering** — the *count-like* state (counts,
+  success tallies, hence proportions and Wilson intervals) is invariant
+  under merging shards in any order; float sums commute exactly whenever
+  the observations are exactly representable (the booleans/counts our
+  cells produce) and within rounding otherwise.
+
+Each property is checked with hypothesis when it is installed and through
+seeded randomized sweeps otherwise (CI installs only requirements.txt, so
+the seeded path is the floor; both explore random values *and* random
+partition points).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.harness.metrics import StreamingProportion, Welford
+from repro.harness.registry import CellAccumulator, MatrixCell
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment dependent
+    HAVE_HYPOTHESIS = False
+
+CELL = MatrixCell(
+    protocol="probft", adversary="silent", latency="constant", n=8, f=2
+)
+
+#: Seeded fallback sweep size (hypothesis drives its own example count).
+FALLBACK_CASES = 200
+
+
+# ----------------------------------------------------------------------
+# Shared generators and property checks (both drivers funnel through these)
+# ----------------------------------------------------------------------
+
+
+def split_points(rng: random.Random, length: int, parts: int):
+    """Ordered cut points partitioning ``range(length)`` into ``parts``."""
+    if length == 0:
+        return [0] * (parts - 1)
+    return sorted(rng.randint(0, length) for _ in range(parts - 1))
+
+
+def partition(values, cuts):
+    pieces = []
+    start = 0
+    for cut in list(cuts) + [len(values)]:
+        pieces.append(values[start:cut])
+        start = cut
+    return pieces
+
+
+def welford_of(values) -> Welford:
+    return Welford().extend(values)
+
+
+def assert_welford_equal(a: Welford, b: Welford, exact: bool) -> None:
+    assert a.count == b.count
+    if a.count == 0:
+        assert math.isnan(a.mean) and math.isnan(b.mean)
+        return
+    if exact:
+        assert a.total == b.total
+        assert a.mean == b.mean
+        assert a.variance == pytest.approx(b.variance, rel=1e-9, abs=1e-9)
+    else:
+        assert a.total == pytest.approx(b.total, rel=1e-9)
+        assert a.mean == pytest.approx(b.mean, rel=1e-9)
+        assert a.variance == pytest.approx(b.variance, rel=1e-6, abs=1e-6)
+
+
+def check_welford_merge_of_splits(values, cuts, exact):
+    whole = welford_of(values)
+    merged = Welford()
+    for piece in partition(values, cuts):
+        merged.merge(welford_of(piece))
+    assert_welford_equal(merged, whole, exact)
+
+
+def check_welford_associativity(values, cuts, exact):
+    a, b, c = partition(values, cuts)
+    left = welford_of(a).merge(welford_of(b)).merge(welford_of(c))
+    right = welford_of(a).merge(welford_of(b).merge(welford_of(c)))
+    assert_welford_equal(left, right, exact)
+
+
+def check_welford_reorder_counts(values, cuts, order):
+    """Count-like state is permutation-invariant; on exactly-representable
+    values the float sums commute exactly too."""
+    pieces = partition(values, cuts)
+    forward = Welford()
+    for piece in pieces:
+        forward.merge(welford_of(piece))
+    shuffled = Welford()
+    for index in order:
+        shuffled.merge(welford_of(pieces[index]))
+    assert shuffled.count == forward.count
+    if all(float(v).is_integer() for v in values):
+        assert shuffled.total == forward.total
+        assert shuffled.variance == pytest.approx(forward.variance, rel=1e-9, abs=1e-9)
+
+
+def proportion_of(outcomes) -> StreamingProportion:
+    acc = StreamingProportion()
+    for outcome in outcomes:
+        acc.add(outcome)
+    return acc
+
+
+def check_proportion_merge_of_splits(outcomes, cuts):
+    whole = proportion_of(outcomes)
+    merged = StreamingProportion()
+    for piece in partition(outcomes, cuts):
+        merged.merge(proportion_of(piece))
+    assert (merged.successes, merged.trials) == (whole.successes, whole.trials)
+    assert merged.interval == whole.interval  # exact, Wilson included
+
+
+def check_proportion_reorder(outcomes, cuts, order):
+    pieces = partition(outcomes, cuts)
+    forward = StreamingProportion()
+    for piece in pieces:
+        forward.merge(proportion_of(piece))
+    shuffled = StreamingProportion()
+    for index in order:
+        shuffled.merge(proportion_of(pieces[index]))
+    assert (shuffled.successes, shuffled.trials) == (
+        forward.successes,
+        forward.trials,
+    )
+
+
+def make_row(rng: random.Random) -> dict:
+    """A synthetic trial row with exactly-representable observations — the
+    same shape ``run_matrix_cell`` emits (decide ratios are kept 0/1 so the
+    float algebra is exact, as in real constant-latency cells)."""
+    n_correct = rng.randint(1, 8)
+    decided = rng.choice([0, n_correct])
+    return {
+        "decided": decided,
+        "n_correct": n_correct,
+        "all_decided": decided == n_correct,
+        "agreement_ok": rng.random() < 0.8,
+        "max_view": rng.randint(1, 5),
+        "last_decision_time": float(rng.randint(0, 64)),
+        "total_messages": rng.randint(0, 512),
+        "total_bytes": rng.randint(0, 4096),
+    }
+
+
+def cell_acc_of(rows) -> CellAccumulator:
+    acc = CellAccumulator(CELL)
+    for row in rows:
+        acc.add(row)
+    return acc
+
+
+def check_cell_merge_of_splits(rows, cuts):
+    whole = cell_acc_of(rows)
+    merged = CellAccumulator(CELL)
+    for piece in partition(rows, cuts):
+        merged.merge(cell_acc_of(piece))
+    assert merged.trials == whole.trials
+    if rows:
+        # Exactly-representable observations: the whole summary (rounded
+        # rates, Wilson interval, cost columns) matches bit-for-bit.
+        assert merged.summary() == whole.summary()
+
+
+def check_cell_associativity(rows, cuts):
+    a, b, c = partition(rows, cuts)
+    left = cell_acc_of(a).merge(cell_acc_of(b)).merge(cell_acc_of(c))
+    right = cell_acc_of(a).merge(cell_acc_of(b).merge(cell_acc_of(c)))
+    assert left.trials == right.trials
+    if rows:
+        assert left.summary() == right.summary()
+
+
+# ----------------------------------------------------------------------
+# Seeded randomized driver (always runs; the CI floor)
+# ----------------------------------------------------------------------
+
+
+class TestSeededRandomized:
+    def test_welford_merge_of_splits_integers_exact(self):
+        rng = random.Random(0xA1)
+        for _ in range(FALLBACK_CASES):
+            values = [float(rng.randint(-100, 100)) for _ in range(rng.randint(0, 48))]
+            cuts = split_points(rng, len(values), rng.randint(2, 5))
+            check_welford_merge_of_splits(values, cuts, exact=True)
+
+    def test_welford_merge_of_splits_floats_close(self):
+        rng = random.Random(0xA2)
+        for _ in range(FALLBACK_CASES):
+            values = [rng.uniform(-1e6, 1e6) for _ in range(rng.randint(0, 48))]
+            cuts = split_points(rng, len(values), rng.randint(2, 5))
+            check_welford_merge_of_splits(values, cuts, exact=False)
+
+    def test_welford_associativity(self):
+        rng = random.Random(0xA3)
+        for _ in range(FALLBACK_CASES):
+            exact = rng.random() < 0.5
+            values = (
+                [float(rng.randint(-50, 50)) for _ in range(rng.randint(0, 36))]
+                if exact
+                else [rng.gauss(0.0, 100.0) for _ in range(rng.randint(0, 36))]
+            )
+            cuts = split_points(rng, len(values), 3)
+            check_welford_associativity(values, cuts, exact=exact)
+
+    def test_welford_reorder_commutes_on_counts(self):
+        rng = random.Random(0xA4)
+        for _ in range(FALLBACK_CASES):
+            values = [float(rng.randint(0, 10)) for _ in range(rng.randint(0, 36))]
+            parts = rng.randint(2, 5)
+            cuts = split_points(rng, len(values), parts)
+            order = list(range(parts))
+            rng.shuffle(order)
+            check_welford_reorder_counts(values, cuts, order)
+
+    def test_proportion_merge_of_splits(self):
+        rng = random.Random(0xB1)
+        for _ in range(FALLBACK_CASES):
+            outcomes = [rng.random() < 0.3 for _ in range(rng.randint(0, 64))]
+            cuts = split_points(rng, len(outcomes), rng.randint(2, 5))
+            check_proportion_merge_of_splits(outcomes, cuts)
+
+    def test_proportion_reorder_commutes(self):
+        rng = random.Random(0xB2)
+        for _ in range(FALLBACK_CASES):
+            outcomes = [rng.random() < 0.7 for _ in range(rng.randint(0, 64))]
+            parts = rng.randint(2, 5)
+            cuts = split_points(rng, len(outcomes), parts)
+            order = list(range(parts))
+            rng.shuffle(order)
+            check_proportion_reorder(outcomes, cuts, order)
+
+    def test_cell_accumulator_merge_of_splits(self):
+        rng = random.Random(0xC1)
+        for _ in range(60):
+            rows = [make_row(rng) for _ in range(rng.randint(0, 24))]
+            cuts = split_points(rng, len(rows), rng.randint(2, 4))
+            check_cell_merge_of_splits(rows, cuts)
+
+    def test_cell_accumulator_associativity(self):
+        rng = random.Random(0xC2)
+        for _ in range(60):
+            rows = [make_row(rng) for _ in range(rng.randint(0, 24))]
+            cuts = split_points(rng, len(rows), 3)
+            check_cell_associativity(rows, cuts)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis driver (richer search when the library is available)
+# ----------------------------------------------------------------------
+
+if HAVE_HYPOTHESIS:
+    int_values = st.lists(
+        st.integers(-100, 100).map(float), min_size=0, max_size=48
+    )
+    float_values = st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=0,
+        max_size=48,
+    )
+    outcome_lists = st.lists(st.booleans(), min_size=0, max_size=64)
+
+    def cuts_for(draw, length, parts):
+        return sorted(
+            draw(st.integers(0, length)) for _ in range(parts - 1)
+        )
+
+    class TestHypothesis:
+        @settings(max_examples=120, deadline=None)
+        @given(values=int_values, data=st.data())
+        def test_welford_merge_of_splits_integers_exact(self, values, data):
+            cuts = cuts_for(data.draw, len(values), data.draw(st.integers(2, 5)))
+            check_welford_merge_of_splits(values, cuts, exact=True)
+
+        @settings(max_examples=120, deadline=None)
+        @given(values=float_values, data=st.data())
+        def test_welford_merge_of_splits_floats_close(self, values, data):
+            cuts = cuts_for(data.draw, len(values), data.draw(st.integers(2, 5)))
+            check_welford_merge_of_splits(values, cuts, exact=False)
+
+        @settings(max_examples=120, deadline=None)
+        @given(values=int_values, data=st.data())
+        def test_welford_associativity(self, values, data):
+            cuts = cuts_for(data.draw, len(values), 3)
+            check_welford_associativity(values, cuts, exact=True)
+
+        @settings(max_examples=120, deadline=None)
+        @given(values=int_values, data=st.data())
+        def test_welford_reorder_commutes_on_counts(self, values, data):
+            parts = data.draw(st.integers(2, 5))
+            cuts = cuts_for(data.draw, len(values), parts)
+            order = data.draw(st.permutations(list(range(parts))))
+            check_welford_reorder_counts(values, cuts, order)
+
+        @settings(max_examples=120, deadline=None)
+        @given(outcomes=outcome_lists, data=st.data())
+        def test_proportion_merge_of_splits(self, outcomes, data):
+            cuts = cuts_for(data.draw, len(outcomes), data.draw(st.integers(2, 5)))
+            check_proportion_merge_of_splits(outcomes, cuts)
+
+        @settings(max_examples=120, deadline=None)
+        @given(outcomes=outcome_lists, data=st.data())
+        def test_proportion_reorder_commutes(self, outcomes, data):
+            parts = data.draw(st.integers(2, 5))
+            cuts = cuts_for(data.draw, len(outcomes), parts)
+            order = data.draw(st.permutations(list(range(parts))))
+            check_proportion_reorder(outcomes, cuts, order)
+
+        @settings(max_examples=40, deadline=None)
+        @given(seed=st.integers(0, 2**32 - 1), data=st.data())
+        def test_cell_accumulator_merge_of_splits(self, seed, data):
+            rng = random.Random(seed)
+            rows = [make_row(rng) for _ in range(data.draw(st.integers(0, 24)))]
+            cuts = cuts_for(data.draw, len(rows), data.draw(st.integers(2, 4)))
+            check_cell_merge_of_splits(rows, cuts)
+
+        @settings(max_examples=40, deadline=None)
+        @given(seed=st.integers(0, 2**32 - 1), data=st.data())
+        def test_cell_accumulator_associativity(self, seed, data):
+            rng = random.Random(seed)
+            rows = [make_row(rng) for _ in range(data.draw(st.integers(0, 24)))]
+            cuts = cuts_for(data.draw, len(rows), 3)
+            check_cell_associativity(rows, cuts)

@@ -349,6 +349,156 @@ class TestMergeAlgebra:
         assert left.interval == whole.interval
 
 
+class TestWindowedStreams:
+    """The bounded-window/cancellation contract behind adaptive early stop.
+
+    ``stream(..., window=w)`` must (a) keep results bit-identical, (b) read
+    at most about ``w`` specs ahead of the consumer, and (c) leave workers
+    promptly reusable — and the pool clean for a *graceful* close — when
+    the stream is dropped mid-iteration.
+    """
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_windowed_results_identical(self, name):
+        specs = [TrialSpec(i, derive_seed(7, i)) for i in range(40)]
+        reference = SerialBackend().map(draw_trial, list(specs))
+        with backend_for(name) as backend:
+            got = list(backend.stream(draw_trial, list(specs), count=40, window=5))
+        assert got == reference, name
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_windowed_engine_run_stream_identical(self, name):
+        reference = ExperimentEngine(workers=0).run_trials(
+            draw_trial, 30, master_seed=4
+        )
+        with ExperimentEngine(workers=2, backend=name) as engine:
+            got = list(engine.run_stream(draw_trial, 30, master_seed=4, window=6))
+        assert got == reference, name
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_windowed_trial_error_propagation(self, name):
+        with backend_for(name) as backend:
+            specs = [TrialSpec(i, derive_seed(2, i)) for i in range(8)]
+            with pytest.raises(TrialError) as exc_info:
+                list(backend.stream(crash_on_three, specs, count=8, window=2))
+        assert exc_info.value.index == 3
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_invalid_window_rejected(self, name):
+        with backend_for(name) as backend:
+            if name == "serial":
+                pytest.skip("serial has no read-ahead to bound")
+            with pytest.raises(ValueError, match="window"):
+                list(backend.stream(draw_trial, [TrialSpec(0, 0)], window=0))
+
+    def test_pool_windowed_bounded_readahead(self):
+        """The spec generator is consumed at most ~window ahead of the
+        results pulled (imap's free-running feeder would eat all 1000)."""
+        backend = ProcessPoolBackend(workers=2, chunk_size=1)
+        consumed = []
+
+        def specs():
+            for i in range(1000):
+                consumed.append(i)
+                yield TrialSpec(i, i)
+
+        stream = backend.stream(draw_trial, specs(), count=1000, window=4)
+        for _ in range(3):
+            next(stream)
+        # 3 yielded + at most window in flight + one batch of slack.
+        assert len(consumed) <= 3 + 4 + 1
+        stream.close()
+        backend.close()
+
+    def test_pool_windowed_drop_keeps_pool_clean(self):
+        """Dropping a windowed stream waits out only the bounded in-flight
+        window — the pool is never marked dirty, close() stays graceful,
+        and the remaining seed range is NOT drained."""
+        backend = ProcessPoolBackend(workers=2, chunk_size=1)
+        ran = time.perf_counter()
+        stream = backend.stream(
+            slow_trial, [TrialSpec(i, i) for i in range(60)], count=60, window=2
+        )
+        assert next(stream) == 0
+        stream.close()  # adaptive early stop
+        elapsed = time.perf_counter() - ran
+        # 60 slow trials would cost ~9s; the bounded remainder is ~2 trials.
+        assert elapsed < 3.0
+        assert not backend._dirty
+        pool = backend._pool
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate")
+        try:
+            backend.close()
+        finally:
+            pool.terminate = original_terminate
+        assert calls == []  # graceful close — never terminate
+        assert backend._pool is None
+
+    def test_pool_windowed_workers_reusable_after_drop(self):
+        backend = ProcessPoolBackend(workers=2, chunk_size=1)
+        stream = backend.stream(
+            draw_trial, [TrialSpec(i, i) for i in range(40)], count=40, window=3
+        )
+        next(stream)
+        stream.close()
+        # Same pool object serves the next call (no dirty-replacement).
+        pool = backend._pool
+        assert backend.map(draw_trial, [TrialSpec(0, 0)]) == [
+            SerialBackend().map(draw_trial, [TrialSpec(0, 0)])[0]
+        ]
+        assert backend._pool is pool
+        backend.close()
+
+    def test_async_windowed_drop_bounded(self):
+        backend = AsyncioBackend(workers=2, window=8)
+        stream = backend.stream(
+            slow_trial, [TrialSpec(i, i) for i in range(60)], count=60, window=2
+        )
+        assert next(stream) == 0
+        start = time.perf_counter()
+        stream.close()  # drains at most min(window=8, 2) in-flight trials
+        assert time.perf_counter() - start < 2.0
+        # The loop/executor stay reusable after the drop.
+        assert backend.map(slow_trial, [TrialSpec(7, 7)]) == [7]
+        backend.close()
+
+    def test_sharded_windowed_drop_reaches_inner_pool(self):
+        """Dropping a windowed sharded stream closes the inner pool stream
+        too, so the inner pool stays clean for a graceful close."""
+        sharded = ShardedBackend(workers=2, shard_size=2)
+        stream = sharded.stream(
+            slow_trial, [TrialSpec(i, i) for i in range(40)], count=40, window=2
+        )
+        assert next(stream) == 0
+        stream.close()
+        inner = sharded.inner
+        assert isinstance(inner, ProcessPoolBackend)
+        assert not inner._dirty
+        pool = inner._pool
+        calls = []
+        original_terminate = pool.terminate
+        pool.terminate = lambda: calls.append("terminate")
+        try:
+            sharded.close()
+        finally:
+            pool.terminate = original_terminate
+        assert calls == []
+
+    def test_unwindowed_drop_still_dirties_pool(self):
+        """The historical contract is unchanged: an abandoned *unwindowed*
+        stream leaves imap's queue full and close() must terminate."""
+        backend = ProcessPoolBackend(workers=2, chunk_size=1)
+        stream = backend.stream(
+            slow_trial, [TrialSpec(i, i) for i in range(60)], count=60
+        )
+        assert next(stream) == 0
+        stream.close()
+        assert backend._dirty
+        backend.abort()
+
+
 class TestPoolLifecycle:
     """Happy-path shutdown is graceful; terminate stays on error paths."""
 

@@ -34,10 +34,20 @@ class TestMetrics:
         assert 0.0 <= low and high <= 1.0
 
     def test_wilson_interval_extremes(self):
+        """All-failure/all-success endpoints are pinned *exactly* — not
+        clamped within an epsilon — so stopping rules can trust them."""
         low, high = wilson_interval(0, 50)
         assert low == 0.0 and high > 0.0
         low, high = wilson_interval(50, 50)
         assert high == 1.0 and low < 1.0
+        for trials in (1, 3, 73, 10_000):
+            assert wilson_interval(trials, trials)[1] == 1.0
+            assert wilson_interval(0, trials)[0] == 0.0
+
+    def test_wilson_zero_trials_is_unit_interval(self):
+        """No data means no information: the degenerate cell yields the
+        full (0, 1) interval instead of a ZeroDivisionError/ValueError."""
+        assert wilson_interval(0, 0) == (0.0, 1.0)
 
     def test_wilson_narrows_with_trials(self):
         w1 = wilson_interval(8, 10)
@@ -46,9 +56,11 @@ class TestMetrics:
 
     def test_wilson_invalid(self):
         with pytest.raises(ValueError):
-            wilson_interval(5, 0)
+            wilson_interval(5, 0)  # successes out of range for zero trials
         with pytest.raises(ValueError):
             wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(0, -1)
 
     def test_proportion_estimate(self):
         est = ProportionEstimate(90, 100)
