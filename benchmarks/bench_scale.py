@@ -1,0 +1,165 @@
+"""BENCH-SCALE — protocol trial throughput versus n, dense against sparse.
+
+The sparse delivery layer (:mod:`repro.net.sparse` plus ProBFT's
+:class:`~repro.core.observation.SampleObservationPolicy`) exists to push
+full-protocol trials past n≈1000.  This bench pins its two promises:
+
+* **bit-identity** — at small n (where dense is cheap enough to replay)
+  the sparse run's :class:`~repro.harness.trial.RunResult` must equal the
+  dense run's, seed for seed;
+* **throughput** — at n=500 the sparse path must clear **5x** dense
+  trials/sec; above that, dense is measured only while affordable and
+  sparse carries the curve to n=2000.
+
+Trials route through the normal execution-backend seam
+(``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_BACKEND``): each trial is one
+seeded :func:`~repro.harness.trial.run_trial` of the ProBFT happy-path
+cell under constant latency.  Every (mode, n) pass is preceded by an
+untimed pass over the same seeds so the pooled crypto contexts (keys +
+VRF proves) are warm for both modes alike — the recorded numbers are
+steady-state trial throughput, not keygen.
+
+Writes ``BENCH_scale.json`` at the repo root (trials/sec per n for both
+modes) so successive PRs can track the scaling frontier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.harness.backends import backend_from_env, workers_from_env
+from repro.harness.parallel import ExperimentEngine, TrialSpec
+from repro.harness.registry import MatrixCell, cell_deployment_spec
+from repro.harness.tables import render_table
+from repro.harness.trial import run_trial
+
+MASTER_SEED = 2024
+MAX_TIME = 300.0
+
+#: (n, trials) — trial counts taper so the whole bench stays CI-sized.
+SCALE_POINTS = ((50, 3), (200, 3), (500, 3), (1000, 2), (2000, 1))
+
+#: Dense is replayed only while affordable; sparse covers every point.
+DENSE_CEILING = 500
+
+#: Bit-identity is asserted wherever dense runs at or below this n.
+IDENTITY_CEILING = 50
+
+#: The acceptance bar: sparse throughput over dense at this n.
+SPEEDUP_AT_N = 500
+SPEEDUP_FLOOR = 5.0
+
+WORKERS = workers_from_env("REPRO_BENCH_WORKERS", default=0)
+BACKEND = backend_from_env("REPRO_BENCH_BACKEND", default=None)
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+
+def _cell(n: int) -> MatrixCell:
+    return MatrixCell(
+        protocol="probft",
+        adversary="none",
+        latency="constant",
+        n=n,
+        f=(n - 1) // 5,
+        track_bytes=False,
+    )
+
+
+def _scale_trial(spec: TrialSpec):
+    """One seeded protocol trial (module-level: pickles to pool workers)."""
+    n, sparse = spec.params
+    dspec = cell_deployment_spec(_cell(n), seed=spec.seed, max_time=MAX_TIME)
+    if sparse:
+        dspec = dspec.with_sparse()
+    return run_trial(dspec)
+
+
+def _timed_pass(engine: ExperimentEngine, n: int, trials: int, sparse: bool):
+    """Warm pass (fills the pooled crypto for these exact seeds), then a
+    timed pass over the same seeds; returns (results, trials/sec)."""
+    engine.run_trials(
+        _scale_trial, trials, master_seed=MASTER_SEED, params=(n, sparse)
+    )
+    start = time.perf_counter()
+    results = engine.run_trials(
+        _scale_trial, trials, master_seed=MASTER_SEED, params=(n, sparse)
+    )
+    elapsed = time.perf_counter() - start
+    return results, trials / elapsed if elapsed else float("inf")
+
+
+def compute_scale_curve():
+    engine = ExperimentEngine(workers=WORKERS, backend=BACKEND)
+    rows = {}
+    try:
+        for n, trials in SCALE_POINTS:
+            sparse_results, sparse_tps = _timed_pass(engine, n, trials, True)
+            row = {
+                "f": (n - 1) // 5,
+                "trials": trials,
+                "sparse_trials_per_sec": round(sparse_tps, 3),
+            }
+            if n <= DENSE_CEILING:
+                dense_results, dense_tps = _timed_pass(engine, n, trials, False)
+                row["dense_trials_per_sec"] = round(dense_tps, 3)
+                row["speedup"] = round(sparse_tps / dense_tps, 2)
+                if n <= IDENTITY_CEILING:
+                    row["identical"] = dense_results == sparse_results
+            rows[str(n)] = row
+    finally:
+        engine.close()
+    return {
+        "bench": "scale-sparse-delivery",
+        "protocol": "probft",
+        "adversary": "none",
+        "latency": "constant",
+        "master_seed": MASTER_SEED,
+        "workers": WORKERS,
+        "backend": BACKEND or ("serial" if WORKERS <= 1 else "pool"),
+        "cpu_count": os.cpu_count() or 1,
+        "rows": rows,
+        "speedup_at_500": rows[str(SPEEDUP_AT_N)]["speedup"],
+    }
+
+
+@pytest.mark.benchmark(group="scale")
+def test_bench_scale(benchmark, report):
+    row = benchmark.pedantic(compute_scale_curve, rounds=1, iterations=1)
+    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
+    table = [
+        [
+            n,
+            row["rows"][n]["trials"],
+            row["rows"][n].get("dense_trials_per_sec", "—"),
+            row["rows"][n]["sparse_trials_per_sec"],
+            row["rows"][n].get("speedup", "—"),
+            row["rows"][n].get("identical", "—"),
+        ]
+        for n in (str(n) for n, _ in SCALE_POINTS)
+    ]
+    report(
+        render_table(
+            ["n", "trials", "dense t/s", "sparse t/s", "speedup", "identical"],
+            table,
+            title=(
+                f"BENCH-SCALE: ProBFT happy-path trials/sec vs n "
+                f"(constant latency, workers={WORKERS}, "
+                f"cpus={row['cpu_count']})\n"
+                f"wrote {ARTIFACT.name}; sparse must be bit-identical and "
+                f">= {SPEEDUP_FLOOR}x dense at n={SPEEDUP_AT_N}"
+            ),
+        )
+    )
+    # Equivalence: wherever dense was replayed at identity scale, the
+    # sparse RunResults must match seed for seed.
+    for n, _ in SCALE_POINTS:
+        if n <= IDENTITY_CEILING:
+            assert row["rows"][str(n)]["identical"], f"n={n} diverged"
+    # Throughput: the sparse fast path must clear the bar at n=500.
+    assert row["speedup_at_500"] >= SPEEDUP_FLOOR, row["speedup_at_500"]

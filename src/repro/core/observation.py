@@ -1,0 +1,133 @@
+"""ProBFT's sample-observation policy for sparse delivery.
+
+ProBFT's communication pattern is exactly the sample-based dissemination of
+scalable probabilistic broadcast: a Prepare/Commit vote is multicast to the
+sender's VRF sample, and a recipient's state can only change if it is *in*
+that sample (the line 17/21 precondition ``i ∈ S``) — with one exception,
+the equivocation rule (lines 23–25), which reacts to any message carrying a
+leader-signed statement that conflicts with the accepted value.
+
+:class:`SampleObservationPolicy` encodes precisely that: votes are delivered
+only to sample members, unless the vote's view has been *flagged equivocal*,
+in which case every delivery for that view falls back to dense (any
+recipient might need to block the view and gossip evidence).  The flag is
+maintained in :meth:`inspect`, which sees every message entering the network
+— including the unicast sends equivocating leaders and double-voters use —
+strictly before the corresponding deliveries fire, so the fire-time verdict
+in :meth:`deliverable` is never stale.
+
+Suppression rules (fire time, honest ``dst`` only):
+
+* ``view < dst's current view`` — the replica's view gate drops the vote
+  unread (stale messages cannot trigger equivocation: lines 23–25 require
+  ``inner.view == curView``).
+* ``view == dst's current view`` and ``dst ∉ sample`` and view not flagged
+  equivocal — the vote fails the ``i ∈ S`` precondition, and no conflict is
+  possible: every leader-signed statement seen for this view carries the
+  one recorded value, including whichever proposal ``dst`` accepted.
+* anything else — deliver (future views are buffered and replayed; flagged
+  views, non-votes, malformed votes and Byzantine recipients are all
+  handled densely).
+
+Only statements actually signed by ``leader(view)`` are tracked: a flooder's
+fake statement signed by itself can never trigger line 23 (which checks the
+signer *is* the leader), so it must not flag the view equivocal and degrade
+the run to dense.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Set
+
+from ..config import ProtocolConfig
+from ..messages.base import ProposalStatement
+from ..messages.probft import Commit, Prepare, extract_statement
+from ..net.sparse import SparseDeliveryPolicy
+from ..types import ReplicaId, Value, View
+from .leader import leader_of_view
+
+
+class SampleObservationPolicy(SparseDeliveryPolicy):
+    """Deliver votes only where ProBFT can observe them.
+
+    Args:
+        config: the deployment's protocol config (domain + n).
+        byzantine_ids: recipients with arbitrary handlers — never suppressed.
+        view_of: fire-time probe for an honest replica's current view.
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        byzantine_ids: FrozenSet[ReplicaId],
+        view_of: Callable[[ReplicaId], View],
+    ) -> None:
+        self._domain = config.seed_domain
+        self._n = config.n
+        self._byzantine = frozenset(byzantine_ids)
+        self._view_of = view_of
+        self._value_seen: Dict[View, Value] = {}
+        self._equivocal: Set[View] = set()
+
+    @property
+    def equivocal_views(self) -> FrozenSet[View]:
+        return frozenset(self._equivocal)
+
+    def inspect(self, src: ReplicaId, message: object) -> None:
+        statement = extract_statement(getattr(message, "payload", None))
+        if statement is None:
+            return
+        inner = getattr(statement, "payload", None)
+        if not isinstance(inner, ProposalStatement):
+            return
+        if inner.domain != self._domain:
+            return
+        view = inner.view
+        if view in self._equivocal:
+            return
+        if view < 1 or getattr(statement, "signer", None) != leader_of_view(
+            view, self._n
+        ):
+            return
+        seen = self._value_seen.get(view)
+        if seen is None:
+            self._value_seen[view] = inner.value
+        elif seen != inner.value:
+            # Two values under the leader's signature: every correct replica
+            # may now react to any statement-bearing message for this view.
+            self._equivocal.add(view)
+
+    def deliverable(self, message: object, dst: ReplicaId) -> bool:
+        verdict = self.batch_deliverable(message)
+        return True if verdict is True else verdict(dst)
+
+    def batch_deliverable(self, message: object):
+        payload = getattr(message, "payload", None)
+        if not isinstance(payload, (Prepare, Commit)):
+            return True
+        inner = getattr(payload.statement, "payload", None)
+        if not isinstance(inner, ProposalStatement):
+            return True
+        view = inner.view
+        # Captured once per fan-out: a mid-bucket flip (a Byzantine recipient
+        # sending a fresh conflicting statement from inside this bucket) is
+        # safe, because the conflicting statement cannot have been delivered
+        # to anyone yet — every honest recipient still holds the one value
+        # this vote carries, so suppressing its out-of-sample copies remains
+        # a no-op for them.
+        equivocal = view in self._equivocal
+        members = payload.sample.members()
+        byzantine = self._byzantine
+        view_of = self._view_of
+
+        def verdict(dst: ReplicaId) -> bool:
+            if dst in byzantine:
+                return True
+            dst_view = view_of(dst)
+            if view < dst_view:
+                return False  # dropped unread by the receiver's view gate
+            if view > dst_view:
+                return True  # buffered for replay on view entry
+            return equivocal or dst in members
+
+        return verdict

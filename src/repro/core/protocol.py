@@ -57,6 +57,7 @@ class ProBFTDeployment:
         duplicate_prob: float = 0.0,
         track_bytes: bool = False,
         crypto: Optional[CryptoContext] = None,
+        sparse: bool = False,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -84,6 +85,9 @@ class ProBFTDeployment:
                 f"{len(byzantine)} Byzantine replicas exceeds f={config.f}"
             )
         self.byzantine_ids: FrozenSet[ReplicaId] = frozenset(byzantine)
+        self._correct_ids: FrozenSet[ReplicaId] = (
+            frozenset(range(config.n)) - self.byzantine_ids
+        )
         values = values or {}
 
         self.replicas: Dict[ReplicaId, object] = {}
@@ -104,6 +108,25 @@ class ProBFTDeployment:
                 )
             self.network.register(r, replica.on_message)
             self.replicas[r] = replica
+        self.sparse = sparse
+        if sparse:
+            from .observation import SampleObservationPolicy
+
+            replicas = self.replicas
+            self.network.use_delivery_policy(
+                SampleObservationPolicy(
+                    config,
+                    self.byzantine_ids,
+                    # Reads the property's backing field directly: the probe
+                    # runs once per coalesced delivery, and the descriptor
+                    # call is measurable at n>=500.
+                    lambda r: replicas[r]._cur_view,
+                )
+            )
+            for r in self._correct_ids:
+                self.network.register_batch(
+                    r, self.replicas[r].on_sample_message
+                )
         self._started = False
 
     # ------------------------------------------------------------------
@@ -125,6 +148,9 @@ class ProBFTDeployment:
         """Run until every correct replica decides (or a budget runs out)."""
         self.start()
         stop = self.all_correct_decided if stop_when_decided else None
+        # Sparse fan-outs probe this between coalesced deliveries so they
+        # keep dense mode's per-delivery stop granularity.
+        self.network.stop_probe = stop
         self.sim.run(until=max_time, max_events=max_events, stop_when=stop)
         return self
 
@@ -136,7 +162,7 @@ class ProBFTDeployment:
     # ------------------------------------------------------------------
     @property
     def correct_ids(self) -> FrozenSet[ReplicaId]:
-        return frozenset(range(self.config.n)) - self.byzantine_ids
+        return self._correct_ids
 
     def correct_replicas(self) -> Dict[ReplicaId, ProBFTReplica]:
         return {
@@ -146,7 +172,10 @@ class ProBFTDeployment:
         }
 
     def all_correct_decided(self) -> bool:
-        return all(r in self.decisions for r in self.correct_ids)
+        # Decisions are recorded by correct replicas only, so a length check
+        # suffices — this runs between every pair of deliveries (stop_when /
+        # stop_probe) and must be O(1), not O(n).
+        return len(self.decisions) >= len(self._correct_ids)
 
     def decided_values(self) -> Set[Value]:
         """Distinct values decided by *correct* replicas."""

@@ -37,6 +37,7 @@ from ..crypto.vrf import VRFOutput, phase_seed
 from ..messages.base import ProposalStatement
 from ..messages.probft import Commit, NewLeader, Prepare, Propose, extract_statement
 from ..net.transport import Transport
+from .leader import leader_of_view
 from ..quorum.deterministic import DeterministicQuorumCollector
 from ..quorum.probabilistic import ProbabilisticQuorumCollector
 from ..sync.synchronizer import ViewSynchronizer, Wish
@@ -50,6 +51,37 @@ FUTURE_VIEW_WINDOW = 2
 FUTURE_BUFFER_LIMIT = 4096
 
 DecisionCallback = Callable[[Decision], None]
+
+
+class _VoteToken:
+    """Recipient-independent validation of one Prepare/Commit vote.
+
+    Computed once per coalesced fan-out event and shared by every recipient
+    in the bucket (see :meth:`ProBFTReplica.on_sample_message`).  Everything
+    here is a pure function of the message and the deployment's shared
+    crypto/config, never of the receiving replica.
+    """
+
+    __slots__ = (
+        "is_prepare",
+        "view",
+        "value",
+        "signer",
+        "members",
+        "valid",
+        "eq_candidate",
+    )
+
+    def __init__(
+        self, is_prepare, view, value, signer, members, valid, eq_candidate
+    ) -> None:
+        self.is_prepare = is_prepare
+        self.view = view
+        self.value = value
+        self.signer = signer
+        self.members = members
+        self.valid = valid
+        self.eq_candidate = eq_candidate
 
 
 class ProBFTReplica:
@@ -74,6 +106,9 @@ class ProBFTReplica:
         self._on_decide = on_decide
         self._trace_enabled = trace
         self.trace: List[TraceEvent] = []
+        # The config properties recompute ceil(l*sqrt(n)) per access; the
+        # delivery fast path reads them per message, so pin them once.
+        self._q = config.q
 
         self._sync = ViewSynchronizer(
             transport=transport,
@@ -153,6 +188,111 @@ class ProBFTReplica:
             self._buffer_future(view, src, message)
             return
         self._process_current(src, message)
+
+    def on_sample_message(self, src: ReplicaId, message: object, shared: dict) -> None:
+        """Batched delivery entry point for coalesced fan-outs (sparse mode).
+
+        Recipients of one fan-out event share the recipient-independent
+        validation work (signatures, leader check, VRF) through a
+        :class:`_VoteToken` stashed in ``shared``; each recipient then does
+        only its own per-replica steps, replicating :meth:`on_message`'s
+        observable behaviour exactly.  Anything that is not a plain
+        current-view vote falls back to the generic path.
+        """
+        token = shared.get("vote", False)
+        if token is False:
+            token = self._prevalidate_vote(message)
+            shared["vote"] = token
+        if token is None:
+            self.on_message(src, message)
+            return
+        view = token.view
+        cur = self._cur_view
+        if view < cur or cur == 0:
+            return  # stale (or not yet started)
+        if view > cur:
+            self._buffer_future(view, src, message)
+            return
+        # Lines 23-25 can only trigger on a conflicting leader-signed
+        # statement; defer that rare case to the generic path wholesale.
+        if (
+            token.eq_candidate
+            and self._voted
+            and not self._block_view
+            and token.value != self._cur_val
+        ):
+            self._process_current(src, message)
+            return
+        if self._block_view or not token.valid:
+            return
+        if self.id not in token.members:
+            return  # line 17/21 precondition: i ∈ S
+        table = (
+            self._prepare_collectors
+            if token.is_prepare
+            else self._commit_collectors
+        )
+        collector = table.get(cur)
+        if collector is None:
+            collector = table[cur] = ProbabilisticQuorumCollector(self._q)
+        # The quorum re-checks are no-ops unless this add completed one —
+        # unlike the generic path we only pay them when it did.
+        if collector.add(token.value, token.signer, message):
+            if token.is_prepare:
+                self._try_form_prepared()
+            else:
+                self._try_decide()
+
+    def _prevalidate_vote(self, message: object) -> Optional[_VoteToken]:
+        """The recipient-independent slice of :meth:`_verify_vote`.
+
+        Returns ``None`` for anything that is not a well-formed Signed
+        Prepare/Commit — those take the generic :meth:`on_message` path.
+        """
+        if not isinstance(message, Signed):
+            return None
+        payload = message.payload
+        if not isinstance(payload, (Prepare, Commit)):
+            return None
+        statement = payload.statement
+        inner = getattr(statement, "payload", None)
+        if not isinstance(inner, ProposalStatement):
+            return None
+        view = inner.view
+        config = self.config
+        crypto = self._crypto
+        domain_ok = inner.domain == config.seed_domain
+        leader_ok = (
+            view >= 1
+            and getattr(statement, "signer", None)
+            == leader_of_view(view, config.n)
+        )
+        is_prepare = isinstance(payload, Prepare)
+        valid = (
+            crypto.signatures.verify(message)
+            and crypto.signatures.verify(statement)
+            and domain_ok
+            and leader_ok
+            and crypto.vrf.verify(
+                message.signer,
+                phase_seed(
+                    view,
+                    "prepare" if is_prepare else "commit",
+                    config.seed_domain,
+                ),
+                config.sample_size,
+                payload.sample,
+            )
+        )
+        return _VoteToken(
+            is_prepare=is_prepare,
+            view=view,
+            value=inner.value,
+            signer=message.signer,
+            members=payload.sample.members(),
+            valid=valid,
+            eq_candidate=domain_ok and leader_ok,
+        )
 
     # ------------------------------------------------------------------
     # Dispatch helpers
@@ -423,7 +563,7 @@ class ProBFTReplica:
         if statement.signer != self._leader(view):
             return False
         sample: VRFOutput = vote.sample
-        if self.id not in sample.sample:
+        if self.id not in sample.members():
             return False  # line 17/21 precondition: i ∈ S
         seed = phase_seed(view, phase_tag, self.config.seed_domain)
         return self._crypto.vrf.verify(
@@ -431,8 +571,6 @@ class ProBFTReplica:
         )
 
     def _leader(self, view: View) -> ReplicaId:
-        from .leader import leader_of_view
-
         return leader_of_view(view, self.config.n)
 
     def _sign(self, payload: object) -> Signed:

@@ -8,9 +8,22 @@ always hash identically regardless of construction order.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Any
 
 _SEPARATOR = b"\x1f"
+
+# Identity-keyed memo for ``canonical()``-bearing objects.  Every such type
+# in the codebase is a frozen dataclass (Signed, VRFOutput, the message
+# classes, certificates), and the hot path encodes the *same* object many
+# times — a broadcast vote's shared leader statement is re-encoded once per
+# signature over a message embedding it.  The entry pins the object alive so
+# its id cannot be recycled, and the identity recheck makes a stale-id hit
+# impossible; bounded FIFO eviction keeps long sessions from pinning every
+# envelope ever encoded.  Objects that expose ``canonical()`` MUST be
+# immutable for this cache (and for signing in general) to be sound.
+_CANONICAL_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_CANONICAL_CACHE_MAX = 16384
 
 
 def stable_encode(value: Any) -> bytes:
@@ -46,7 +59,15 @@ def stable_encode(value: Any) -> bytes:
         return b"D" + len(parts).to_bytes(8, "big") + _SEPARATOR.join(parts)
     canonical = getattr(value, "canonical", None)
     if callable(canonical):
-        return b"C" + stable_encode(canonical())
+        key = id(value)
+        entry = _CANONICAL_CACHE.get(key)
+        if entry is not None and entry[0] is value:
+            return entry[1]
+        encoded = b"C" + stable_encode(canonical())
+        _CANONICAL_CACHE[key] = (value, encoded)
+        if len(_CANONICAL_CACHE) > _CANONICAL_CACHE_MAX:
+            _CANONICAL_CACHE.popitem(last=False)
+        return encoded
     if hasattr(value, "value") and type(value).__module__ != "builtins":
         # Enum-like: encode by class name + value.
         return b"E" + stable_encode((type(value).__name__, value.value))

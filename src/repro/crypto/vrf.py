@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..errors import VRFError
 from ..types import ReplicaId
@@ -45,8 +45,20 @@ class VRFOutput:
     def canonical(self) -> Any:
         return ("vrf-output", tuple(self.sample), self.proof)
 
+    def members(self) -> frozenset:
+        """The sample as a frozenset, built once per output object.
+
+        Membership tests against a vote's sample happen once per recipient
+        of the vote; the cached set turns each O(s) tuple scan into O(1).
+        """
+        members = self.__dict__.get("_members")
+        if members is None:
+            members = frozenset(self.sample)
+            object.__setattr__(self, "_members", members)
+        return members
+
     def __contains__(self, replica: ReplicaId) -> bool:
-        return replica in self.sample
+        return replica in self.members()
 
     def __len__(self) -> int:
         return len(self.sample)
@@ -85,13 +97,23 @@ class _KeyedStream:
 
 
 def _sample_from_key(key: bytes, n: int, s: int) -> Tuple[ReplicaId, ...]:
-    """Partial Fisher–Yates draw of ``s`` distinct IDs from ``range(n)``."""
+    """Partial Fisher–Yates draw of ``s`` distinct IDs from ``range(n)``.
+
+    Sparse formulation: instead of materializing ``list(range(n))`` per draw
+    (O(n) for an O(√n)-sized sample), track only the *displaced* slots in a
+    dict — slot ``i`` holds ``i`` unless a previous swap moved something
+    there.  Same keyed stream, same swap sequence, bit-identical output to
+    the dense shuffle for every ``(key, n, s)``.
+    """
     stream = _KeyedStream(key)
-    pool: List[int] = list(range(n))
+    displaced: Dict[int, int] = {}
+    out: List[int] = []
     for i in range(s):
         j = i + stream.next_uint(n - i)
-        pool[i], pool[j] = pool[j], pool[i]
-    return tuple(pool[:s])
+        out.append(displaced.get(j, j))
+        if j != i:
+            displaced[j] = displaced.get(i, i)
+    return tuple(out)
 
 
 class VRF:
@@ -177,6 +199,13 @@ class MemoizedVRF(VRF):
       registry path is memoized: :meth:`prove_with` (explicit keys — the
       adversary's corrupted-key and forgery path) always computes from
       scratch, since its key need not match the registry's.
+    * **verify memo** — :meth:`verify` is a pure function of the output
+      object and ``(replica, seed, s)`` (registry immutable again), and a
+      vote's ``VRFOutput`` is verified once per recipient — up to ``s``
+      times for the *same object*.  Keyed by ``id(output)`` plus the
+      arguments, with the output pinned alive and identity re-checked on
+      hit (the :class:`MemoizedSignatureScheme` idiom), so a recycled id
+      can never serve a stale verdict.
     """
 
     def __init__(self, registry: KeyRegistry, max_entries: int = 8192) -> None:
@@ -189,11 +218,16 @@ class MemoizedVRF(VRF):
         self._prove_cache: "OrderedDict[Tuple[ReplicaId, str, int], VRFOutput]" = (
             OrderedDict()
         )
+        self._verify_cache: "OrderedDict[Tuple[int, ReplicaId, str, int], Tuple[VRFOutput, bool]]" = (
+            OrderedDict()
+        )
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.prove_hits = 0
         self.prove_misses = 0
+        self.verify_hits = 0
+        self.verify_misses = 0
 
     def _sample(self, key: bytes, s: int) -> Tuple[ReplicaId, ...]:
         cache_key = (key, s)
@@ -220,6 +254,21 @@ class MemoizedVRF(VRF):
         if len(self._prove_cache) > self._max_entries:
             self._prove_cache.popitem(last=False)
         return output
+
+    def verify(
+        self, replica: ReplicaId, seed: str, s: int, output: VRFOutput
+    ) -> bool:
+        cache_key = (id(output), replica, seed, s)
+        entry = self._verify_cache.get(cache_key)
+        if entry is not None and entry[0] is output:
+            self.verify_hits += 1
+            return entry[1]
+        valid = super().verify(replica, seed, s, output)
+        self.verify_misses += 1
+        self._verify_cache[cache_key] = (output, valid)
+        if len(self._verify_cache) > self._max_entries:
+            self._verify_cache.popitem(last=False)
+        return valid
 
 
 def phase_seed(view: int, phase_tag: str, domain: str = "") -> str:

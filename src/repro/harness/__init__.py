@@ -154,6 +154,35 @@ Whatever the backend, results are **bit-identical** (pinned by
 ``tests/test_backends.py``): seeds are counter-derived per trial and
 collection is submission-ordered, so scheduling never leaks into results.
 
+Scaling past n≈100
+------------------
+
+Dense delivery — one simulator event per ``(message, recipient)`` pair —
+is the reference semantics, but its per-event python cost makes protocol
+trials at n≥500 crawl.  ``DeploymentSpec.with_sparse()`` flips a trial to
+the **sparse delivery layer**: :class:`~repro.net.sparse
+.SparseDeliveryPolicy` coalesces each multicast/broadcast into one
+simulator event per distinct delivery time, and ProBFT additionally
+attaches :class:`~repro.core.observation.SampleObservationPolicy`, which
+prunes deliveries the recipient's quorum-sample state provably ignores.
+Sparse runs are **bit-identical** to dense on the same spec — same
+``RunResult``, same message stats, same simulated time
+(``tests/test_sparse_delivery.py`` pins every protocol × adversary ×
+latency cell) — so the flag moves only wall-clock, like ``workers=``::
+
+    spec = cell_deployment_spec(cell, seed=seed, max_time=300.0)
+    result = run_trial(spec.with_sparse())   # ≥5x dense at n=500
+
+Use sparse for any large-n protocol sweep.  Dense remains the default
+because it is the reference implementation and the equivalence oracle;
+keep it for debugging (one event per delivery is easier to trace) and
+for pinning new protocols/adversaries before trusting their sparse runs.
+Related large-n levers: the analytical estimators take
+``vectorized=True`` (numpy batch kernels, bit-identical, fixed budgets
+only — see :mod:`repro.montecarlo.vectorized`), and
+``benchmarks/bench_scale.py`` writes ``BENCH_scale.json`` (trials/sec ×
+n, dense vs sparse) — the scoreboard for scaling regressions.
+
 Adversary dispatch and cost columns
 -----------------------------------
 

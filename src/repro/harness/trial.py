@@ -151,6 +151,11 @@ class DeploymentSpec:
     duplicate_prob: float = 0.0
     #: Account per-message canonical-encoding bytes (costs one encode each).
     track_bytes: bool = False
+    #: Route multicasts through the deployment's sparse delivery policy
+    #: (coalesced fan-out events; see :mod:`repro.net.sparse`).  Golden-seed
+    #: equivalent to dense mode but orders of magnitude fewer simulator
+    #: events at large n.  Off by default: dense is the reference semantics.
+    sparse: bool = False
     max_time: Optional[float] = None
     max_events: int = 5_000_000
     extra: Tuple[Tuple[str, Any], ...] = ()
@@ -159,9 +164,18 @@ class DeploymentSpec:
         """The same trial under a different seed (for seeded fan-out)."""
         return replace(self, seed=seed)
 
+    def with_sparse(self, sparse: bool = True) -> "DeploymentSpec":
+        """The same trial with sparse delivery toggled (for A/B equivalence)."""
+        return replace(self, sparse=sparse)
+
     def build(self):
         """Construct the protocol's deployment (does not run it)."""
         factory = _factory(self.protocol)
+        kwargs = dict(self.extra)
+        if self.sparse:
+            # Only forwarded when set so third-party factories registered
+            # before the sparse seam keep working untouched.
+            kwargs["sparse"] = True
         return factory(
             self.config,
             seed=self.seed,
@@ -173,7 +187,7 @@ class DeploymentSpec:
             byzantine=self.byzantine,
             duplicate_prob=self.duplicate_prob,
             track_bytes=self.track_bytes,
-            **dict(self.extra),
+            **kwargs,
         )
 
 

@@ -19,6 +19,13 @@ and independent of completion order.  Pass ``workers=``/``backend=`` for
 one-off parallelism or ``engine=`` to share a configured engine across
 calls.
 
+The rectangular sampling-level estimators (prepare-quorum, termination,
+view-change) additionally accept ``vectorized=True``: trials run in
+numpy batches (:mod:`repro.montecarlo.vectorized`) that recompute
+``derive_seed(seed, i)`` internally, so the result is bit-identical to
+the per-trial path while amortizing dispatch overhead across the batch.
+Vectorized runs are fixed-budget only (``stopping`` must be ``None``).
+
 Every estimator also takes ``stopping=`` — an adaptive
 :class:`~repro.harness.adaptive.StoppingRule` (e.g. ``TargetWidth(0.02,
 metric="per_replica_decides")``) evaluated every ``chunk`` trials on the
@@ -46,6 +53,13 @@ from ..harness.metrics import ProportionEstimate, StreamingProportion
 from ..harness.backends import Backend
 from ..harness.parallel import ExperimentEngine, TrialSpec, engine_scope
 from .sampling import inclusion_counts, membership_matrix
+from .vectorized import (
+    DEFAULT_BATCH,
+    prepare_quorum_batch,
+    run_batches,
+    termination_batch,
+    viewchange_batch,
+)
 
 
 @dataclass
@@ -113,6 +127,25 @@ def _collect_trials(
     )
     used, reason = consume_adaptive(results, fold, progress, stopping, chunk)
     return rows, used, reason
+
+
+def _collect_vectorized(
+    eng: ExperimentEngine,
+    batch_fn: Callable[[TrialSpec], List[Any]],
+    trials: int,
+    seed: int,
+    params: Tuple[Any, ...],
+    stopping: Optional[StoppingRule],
+    batch_size: int,
+) -> Tuple[List[Any], int, Optional[str]]:
+    """The batched sibling of :func:`_collect_trials` (fixed budgets only)."""
+    if stopping is not None:
+        raise ValueError(
+            "vectorized=True runs fixed budgets only; adaptive stopping "
+            "rules need the per-trial stream (pass stopping=None)"
+        )
+    rows = run_batches(eng, batch_fn, trials, seed, params, batch_size)
+    return rows, trials, None
 
 
 # ----------------------------------------------------------------------
@@ -233,27 +266,36 @@ def estimate_prepare_quorum(
     backend: Optional[Union[str, Backend]] = None,
     stopping: Optional[StoppingRule] = None,
     chunk: int = DEFAULT_CHUNK,
+    vectorized: bool = False,
+    batch_size: int = DEFAULT_BATCH,
 ) -> MonteCarloResult:
     """Probability of forming a prepare quorum when all correct replicas send.
 
     Estimates both the per-replica probability (Theorem 2 / Corollary 2's
-    target) and the all-correct-replicas-form event.
+    target) and the all-correct-replicas-form event.  ``vectorized=True``
+    runs the trials in bit-identical numpy batches (fixed budgets only).
     """
     q, s = _sizes(n, o, l)
     with engine_scope(engine, workers, backend) as eng:
-        rows, used, reason = _collect_trials(
-            eng,
-            _prepare_quorum_trial,
-            trials,
-            seed,
-            (n, f, q, s),
-            stopping,
-            chunk,
-            metrics={
-                "per_replica_quorum": lambda row: row[0],
-                "all_correct_quorum": lambda row: row[1],
-            },
-        )
+        if vectorized:
+            rows, used, reason = _collect_vectorized(
+                eng, prepare_quorum_batch, trials, seed, (n, f, q, s),
+                stopping, batch_size,
+            )
+        else:
+            rows, used, reason = _collect_trials(
+                eng,
+                _prepare_quorum_trial,
+                trials,
+                seed,
+                (n, f, q, s),
+                stopping,
+                chunk,
+                metrics={
+                    "per_replica_quorum": lambda row: row[0],
+                    "all_correct_quorum": lambda row: row[1],
+                },
+            )
     replica_hits = sum(r for r, _ in rows)
     all_hits = sum(a for _, a in rows)
     return MonteCarloResult(
@@ -278,6 +320,8 @@ def estimate_termination(
     backend: Optional[Union[str, Backend]] = None,
     stopping: Optional[StoppingRule] = None,
     chunk: int = DEFAULT_CHUNK,
+    vectorized: bool = False,
+    batch_size: int = DEFAULT_BATCH,
 ) -> MonteCarloResult:
     """Termination in a correct-leader view (Figure 5 right panels).
 
@@ -285,23 +329,30 @@ def estimate_termination(
     replica prepares iff ≥ q of those samples include it.  Stage 2: prepared
     replicas multicast Commit; a replica decides iff it prepared and ≥ q
     commit samples include it.  Byzantine replicas stay silent (the
-    worst case Theorem 2 mentions).
+    worst case Theorem 2 mentions).  ``vectorized=True`` runs the trials
+    in bit-identical numpy batches (fixed budgets only).
     """
     q, s = _sizes(n, o, l)
     with engine_scope(engine, workers, backend) as eng:
-        rows, used, reason = _collect_trials(
-            eng,
-            _termination_trial,
-            trials,
-            seed,
-            (n, f, q, s),
-            stopping,
-            chunk,
-            metrics={
-                "per_replica_decides": lambda row: row[0],
-                "all_correct_decide": lambda row: row[1],
-            },
-        )
+        if vectorized:
+            rows, used, reason = _collect_vectorized(
+                eng, termination_batch, trials, seed, (n, f, q, s),
+                stopping, batch_size,
+            )
+        else:
+            rows, used, reason = _collect_trials(
+                eng,
+                _termination_trial,
+                trials,
+                seed,
+                (n, f, q, s),
+                stopping,
+                chunk,
+                metrics={
+                    "per_replica_decides": lambda row: row[0],
+                    "all_correct_decide": lambda row: row[1],
+                },
+            )
     decide_hits = sum(d for d, _, _ in rows)
     all_decide_hits = sum(a for _, a, _ in rows)
     prepared_fracs = [frac for _, _, frac in rows]
@@ -435,6 +486,8 @@ def estimate_viewchange_decide(
     backend: Optional[Union[str, Backend]] = None,
     stopping: Optional[StoppingRule] = None,
     chunk: int = DEFAULT_CHUNK,
+    vectorized: bool = False,
+    batch_size: int = DEFAULT_BATCH,
 ) -> MonteCarloResult:
     """Lemma 6 / Theorem 8's scenario: only ``prepared`` replicas committed.
 
@@ -442,20 +495,28 @@ def estimate_viewchange_decide(
     worst case ``(n+f)/2``); estimates the probability that a fixed replica
     receives a commit quorum from them — the event whose probability Lemma 6
     bounds and Theorem 8 multiplies into the cross-view safety argument.
+    ``vectorized=True`` runs the trials in bit-identical numpy batches
+    (fixed budgets only).
     """
     q, s = _sizes(n, o, l)
     r = prepared if prepared is not None else (n + f) // 2
     with engine_scope(engine, workers, backend) as eng:
-        rows, used, reason = _collect_trials(
-            eng,
-            _viewchange_trial,
-            trials,
-            seed,
-            (n, r, q, s),
-            stopping,
-            chunk,
-            metrics={"decides_from_partial_prepare": lambda row: row},
-        )
+        if vectorized:
+            rows, used, reason = _collect_vectorized(
+                eng, viewchange_batch, trials, seed, (n, r, q, s),
+                stopping, batch_size,
+            )
+        else:
+            rows, used, reason = _collect_trials(
+                eng,
+                _viewchange_trial,
+                trials,
+                seed,
+                (n, r, q, s),
+                stopping,
+                chunk,
+                metrics={"decides_from_partial_prepare": lambda row: row},
+            )
     hits = sum(rows)
     return MonteCarloResult(
         trials=used,

@@ -12,6 +12,8 @@ and of whether the sender is faulty*.
   partitions; correct-to-correct messages are never lost, only delayed.
 * :mod:`repro.net.network` — the network itself: routing, GST enforcement,
   per-type message accounting (used by the Figure-1b benchmarks).
+* :mod:`repro.net.sparse` — sparse delivery policies: coalesced fan-out
+  events (and protocol-aware pruning) for scaling past n≈1000.
 * :mod:`repro.net.transport` — the per-replica send/broadcast/multicast API.
 """
 
@@ -24,6 +26,7 @@ from .latency import (
 )
 from .faults import ChaosPolicy, NoChaos, PreGstChaos, Partition
 from .network import Network, MessageStats
+from .sparse import CoalescingDelivery, SparseDeliveryPolicy
 from .transport import Transport
 
 __all__ = [
@@ -38,5 +41,7 @@ __all__ = [
     "Partition",
     "Network",
     "MessageStats",
+    "SparseDeliveryPolicy",
+    "CoalescingDelivery",
     "Transport",
 ]

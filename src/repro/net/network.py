@@ -21,9 +21,15 @@ from ..types import ReplicaId
 from .faults import ChaosPolicy, NoChaos
 from .latency import ConstantLatency, LatencyModel
 from .simulator import Simulator
+from .sparse import SparseDeliveryPolicy
 
 #: Handler invoked on delivery: ``handler(src, message)``.
 DeliveryHandler = Callable[[ReplicaId, object], None]
+
+#: Batched handler used inside coalesced fan-outs (sparse mode only):
+#: ``handler(src, message, shared)`` where ``shared`` is a scratch dict the
+#: recipients of one fan-out event use to share message-level validation work.
+BatchDeliveryHandler = Callable[[ReplicaId, object, dict], None]
 
 
 def message_type_name(message: object) -> str:
@@ -65,6 +71,28 @@ class MessageStats:
         if size is not None:
             self.bytes_by_type[message_type_name(message)] += size
             self.bytes_total += size
+
+    def record_multicast(
+        self,
+        src: ReplicaId,
+        message: object,
+        count: int,
+        size: Optional[int] = None,
+    ) -> None:
+        """Record ``count`` sends of one message in bulk (sparse fan-outs).
+
+        Totals are exactly what ``count`` calls to :meth:`record_send` would
+        produce — Figure-1b accounting is unchanged by coalescing.
+        """
+        if count <= 0:
+            return
+        name = message_type_name(message)
+        self.sent_by_type[name] += count
+        self.sent_by_replica[src] += count
+        self.sent_total += count
+        if size is not None:
+            self.bytes_by_type[name] += count * size
+            self.bytes_total += count * size
 
     def record_delivery(self, message: object) -> None:
         self.delivered_by_type[message_type_name(message)] += 1
@@ -118,6 +146,12 @@ class Network:
         # later allocation and silently return the dead message's size).
         self._size_cache: "OrderedDict[int, Tuple[object, int]]" = OrderedDict()
         self._handlers: Dict[ReplicaId, DeliveryHandler] = {}
+        self._batch_handlers: Dict[ReplicaId, BatchDeliveryHandler] = {}
+        self._delivery: Optional[SparseDeliveryPolicy] = None
+        #: Optional predicate mirroring the deployment's ``stop_when``; the
+        #: coalesced fan-out checks it between recipients so sparse runs keep
+        #: dense's per-delivery stop granularity.
+        self.stop_probe: Optional[Callable[[], bool]] = None
         self.stats = MessageStats()
 
     @property
@@ -142,10 +176,37 @@ class Network:
             raise NotRegisteredError(f"replica {replica} out of range [0, {self._n})")
         self._handlers[replica] = handler
 
+    def register_batch(
+        self, replica: ReplicaId, handler: BatchDeliveryHandler
+    ) -> None:
+        """Attach a batched fast-path handler used by coalesced fan-outs.
+
+        Only consulted in sparse mode; the replica must still register a
+        plain handler (unicast sends and dense mode always use it).
+        """
+        if replica not in self._handlers:
+            raise NotRegisteredError(
+                f"replica {replica} has no plain handler registered"
+            )
+        self._batch_handlers[replica] = handler
+
+    def use_delivery_policy(self, policy: Optional[SparseDeliveryPolicy]) -> None:
+        """Switch multicast/broadcast to the sparse coalesced fan-out path.
+
+        ``None`` restores dense mode (one simulator event per recipient).
+        """
+        self._delivery = policy
+
+    @property
+    def delivery_policy(self) -> Optional[SparseDeliveryPolicy]:
+        return self._delivery
+
     def send(self, src: ReplicaId, dst: ReplicaId, message: object) -> float:
         """Send one message; returns the scheduled delivery time."""
         if dst not in self._handlers:
             raise NotRegisteredError(f"no handler registered for replica {dst}")
+        if self._delivery is not None:
+            self._delivery.inspect(src, message)
         now = self._sim.now
         base = self._latency.delay(src, dst)
         extra = self._chaos.extra_delay(now, self._gst, src, dst)
@@ -164,12 +225,14 @@ class Network:
         self._sim.schedule_at(delivery, deliver)
         # Networks may duplicate messages (standard async-network behaviour);
         # receivers must be idempotent (sender dedup in quorum collectors).
+        # The duplicate obeys the same partial-synchrony bound, stated from
+        # the original send time: no later than max(now, GST) + 2Δ.
         if self._dup_rng is not None and self._dup_rng.random() < self._duplicate_prob:
-            extra = min(
+            dup_delivery = min(
                 delivery + self._latency.delay(src, dst),
-                max(self._sim.now, self._gst) + 2 * self._latency.max_delay,
+                max(now, self._gst) + 2 * self._latency.max_delay,
             )
-            self._sim.schedule_at(max(extra, delivery), deliver)
+            self._sim.schedule_at(max(dup_delivery, delivery), deliver)
         return delivery
 
     #: Bounded FIFO for the size cache; broadcasts only need the hot tail.
@@ -205,6 +268,9 @@ class Network:
         self, src: ReplicaId, targets: Iterable[ReplicaId], message: object
     ) -> None:
         """Send ``message`` to every replica in ``targets`` (self included if listed)."""
+        if self._delivery is not None:
+            self._sparse_dispatch(src, targets, message)
+            return
         for dst in targets:
             self.send(src, dst, message)
 
@@ -212,7 +278,154 @@ class Network:
         self, src: ReplicaId, message: object, include_self: bool = False
     ) -> None:
         """Send ``message`` to all replicas (excluding ``src`` unless asked)."""
+        if self._delivery is not None:
+            self._sparse_dispatch(
+                src,
+                (
+                    dst
+                    for dst in range(self._n)
+                    if dst != src or include_self
+                ),
+                message,
+            )
+            return
         for dst in range(self._n):
             if dst == src and not include_self:
                 continue
             self.send(src, dst, message)
+
+    def _sparse_dispatch(
+        self, src: ReplicaId, targets: Iterable[ReplicaId], message: object
+    ) -> None:
+        """Coalesced fan-out: one simulator event per distinct delivery time.
+
+        Latency/chaos/duplication draws happen per target in dense's target
+        order (suppression never skips a draw), buckets are created in
+        first-seen order, and recipients within a bucket keep target order —
+        together with the kernel's tie-break-by-scheduling-order this makes
+        the delivery interleaving identical to dense mode.
+        """
+        policy = self._delivery
+        policy.inspect(src, message)
+        now = self._sim.now
+        gst_floor = max(now, self._gst)
+        deadline = gst_floor + self._latency.max_delay
+        dup_deadline = gst_floor + 2 * self._latency.max_delay
+        floor = now + 1e-12  # strictly in the future
+        dup_rng = self._dup_rng
+        buckets: "OrderedDict[float, list]" = OrderedDict()
+        if (
+            dup_rng is None
+            and type(self._latency) is ConstantLatency
+            and type(self._chaos) is NoChaos
+        ):
+            # Both models are pure — no RNG, no per-pair state — so every
+            # target draws the same delay and the fan-out is one bucket.
+            # Skipping the per-target calls consumes no stream a seeded
+            # model would have consumed, so this stays bit-identical.
+            handlers = self._handlers
+            dsts = []
+            for dst in targets:
+                if dst not in handlers:
+                    raise NotRegisteredError(
+                        f"no handler registered for replica {dst}"
+                    )
+                dsts.append(dst)
+            delivery = max(min(now + self._latency.delay(src, src), deadline), floor)
+            if dsts:
+                buckets[delivery] = dsts
+            count = len(dsts)
+            self.stats.record_multicast(
+                src, message, count, size=self._message_size(message)
+            )
+            for time_, dsts in buckets.items():
+                self._sim.schedule_at(
+                    time_,
+                    lambda src=src, message=message, dsts=dsts: (
+                        self._deliver_fanout(src, message, dsts)
+                    ),
+                )
+            return
+        count = 0
+        for dst in targets:
+            if dst not in self._handlers:
+                raise NotRegisteredError(
+                    f"no handler registered for replica {dst}"
+                )
+            count += 1
+            base = self._latency.delay(src, dst)
+            extra = self._chaos.extra_delay(now, self._gst, src, dst)
+            delivery = max(min(now + base + extra, deadline), floor)
+            bucket = buckets.get(delivery)
+            if bucket is None:
+                buckets[delivery] = bucket = [dst]
+            else:
+                bucket.append(dst)
+            if dup_rng is not None and dup_rng.random() < self._duplicate_prob:
+                dup_delivery = max(
+                    min(delivery + self._latency.delay(src, dst), dup_deadline),
+                    delivery,
+                )
+                dup_bucket = buckets.get(dup_delivery)
+                if dup_bucket is None:
+                    buckets[dup_delivery] = [dst]
+                else:
+                    dup_bucket.append(dst)
+        self.stats.record_multicast(
+            src, message, count, size=self._message_size(message)
+        )
+        for time_, dsts in buckets.items():
+            self._sim.schedule_at(
+                time_,
+                lambda src=src, message=message, dsts=dsts: (
+                    self._deliver_fanout(src, message, dsts)
+                ),
+            )
+
+    def _deliver_fanout(
+        self, src: ReplicaId, message: object, dsts: list
+    ) -> None:
+        """Deliver one coalesced time bucket, probing ``stop_probe`` between
+        recipients (the kernel already checked before this event fired)."""
+        policy = self._delivery
+        verdict = True if policy is None else policy.batch_deliverable(message)
+        stats = self.stats
+        handlers = self._handlers
+        batch_handlers = self._batch_handlers
+        probe = self.stop_probe
+        shared: dict = {}
+        delivered = 0
+        first = True
+        try:
+            if verdict is True:
+                for dst in dsts:
+                    if first:
+                        first = False
+                    elif probe is not None and probe():
+                        return
+                    delivered += 1
+                    batch = batch_handlers.get(dst)
+                    if batch is not None:
+                        batch(src, message, shared)
+                    else:
+                        handlers[dst](src, message)
+            else:
+                for dst in dsts:
+                    if first:
+                        first = False
+                    elif probe is not None and probe():
+                        return
+                    if not verdict(dst):
+                        continue
+                    delivered += 1
+                    batch = batch_handlers.get(dst)
+                    if batch is not None:
+                        batch(src, message, shared)
+                    else:
+                        handlers[dst](src, message)
+        finally:
+            # One bulk update per bucket: identical totals to dense's
+            # per-delivery increments, at a fraction of the dict traffic.
+            if delivered:
+                stats.delivered_by_type[message_type_name(message)] += delivered
+                stats.delivered_total += delivered

@@ -18,6 +18,10 @@ from ..errors import SimulationError
 Callback = Callable[[], None]
 
 
+def _fired() -> None:  # sentinel: the event already ran; cancel is a no-op
+    raise AssertionError("fired-event sentinel must never be invoked")
+
+
 @dataclass(frozen=True)
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
@@ -25,10 +29,18 @@ class EventHandle:
     time: float
     seq: int
     _entry: list = field(repr=False, compare=False)
+    _sim: Optional["Simulator"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet (idempotent)."""
+        callback = self._entry[3]
+        if callback is None or callback is _fired:
+            return
         self._entry[3] = None
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -47,12 +59,18 @@ class Simulator:
         [5.0]
     """
 
+    #: Compaction only kicks in past this heap size — tiny heaps are cheap
+    #: to scan and compacting them would just churn allocations.
+    _COMPACT_FLOOR = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: List[list] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._live = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -65,7 +83,25 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for entry in self._heap if entry[3] is not None)
+        """Number of scheduled, not-yet-fired, not-cancelled events (O(1))."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`.
+
+        Lazily compacts the heap once more than half of it is tombstones, so
+        bounded-window timer churn (cancel + re-arm per view) cannot grow the
+        heap past ~2x the live event count.
+        """
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled > len(self._heap) // 2
+            and len(self._heap) >= self._COMPACT_FLOOR
+        ):
+            self._heap = [entry for entry in self._heap if entry[3] is not None]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def schedule(self, delay: float, callback: Callback) -> EventHandle:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
@@ -82,17 +118,22 @@ class Simulator:
         seq = next(self._seq)
         entry = [time, seq, None, callback]
         heapq.heappush(self._heap, entry)
-        handle = EventHandle(time=time, seq=seq, _entry=entry)
+        self._live += 1
+        handle = EventHandle(time=time, seq=seq, _entry=entry, _sim=self)
         entry[2] = handle
         return handle
 
     def step(self) -> bool:
         """Process the single next event; returns False if none remain."""
         while self._heap:
-            time, _seq, _handle, callback = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            callback = entry[3]
             if callback is None:
+                self._cancelled -= 1
                 continue  # cancelled
-            self._now = time
+            entry[3] = _fired  # late cancel() must stay a no-op
+            self._live -= 1
+            self._now = entry[0]
             self._events_processed += 1
             callback()
             return True
@@ -142,6 +183,7 @@ class Simulator:
             entry = self._heap[0]
             if entry[3] is None:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
                 continue
             return entry[0]
         return None

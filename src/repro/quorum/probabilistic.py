@@ -9,7 +9,6 @@ trust boundary in one place (the replica handlers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
 
 from ..errors import QuorumError
@@ -19,11 +18,17 @@ K = TypeVar("K", bound=Hashable)
 M = TypeVar("M")
 
 
-@dataclass
 class _Bucket(Generic[M]):
-    senders: Set[ReplicaId] = field(default_factory=set)
-    messages: List[Tuple[ReplicaId, M]] = field(default_factory=list)
-    fired: bool = False
+    """Per-key accumulator; a slotted plain class — :meth:`QuorumCollector.add`
+    runs once per delivered vote, making bucket construction and attribute
+    access part of the simulation's hot path."""
+
+    __slots__ = ("senders", "messages", "fired")
+
+    def __init__(self) -> None:
+        self.senders: Set[ReplicaId] = set()
+        self.messages: List[Tuple[ReplicaId, M]] = []
+        self.fired = False
 
 
 class QuorumCollector(Generic[K, M]):
@@ -53,7 +58,9 @@ class QuorumCollector(Generic[K, M]):
 
     def add(self, key: K, sender: ReplicaId, message: M) -> bool:
         """Record a message; True iff this addition completes the quorum."""
-        bucket = self._buckets.setdefault(key, _Bucket())
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
         if sender in bucket.senders:
             return False
         bucket.senders.add(sender)

@@ -1,11 +1,19 @@
 """Tests for repro.crypto.vrf (paper §2.4)."""
 
+import hashlib
 from dataclasses import replace
 
 import pytest
 
 from repro.crypto.keys import KeyRegistry
-from repro.crypto.vrf import VRF, VRFOutput, phase_seed
+from repro.crypto.vrf import (
+    VRF,
+    MemoizedVRF,
+    VRFOutput,
+    _KeyedStream,
+    _sample_from_key,
+    phase_seed,
+)
 from repro.errors import VRFError
 
 
@@ -131,3 +139,105 @@ class TestPhaseSeed:
             for t in ("prepare", "commit")
         }
         assert len(seeds) == 18
+
+
+class TestSparseShuffleEquivalence:
+    """The sparse dict-swap shuffle must equal the dense Fisher–Yates."""
+
+    @staticmethod
+    def _dense_sample(key, n, s):
+        # Reference implementation: materialize the full array and run the
+        # textbook partial Fisher–Yates off the same keyed stream.
+        stream = _KeyedStream(key)
+        pool = list(range(n))
+        for i in range(s):
+            j = i + stream.next_uint(n - i)
+            pool[i], pool[j] = pool[j], pool[i]
+        return tuple(pool[:s])
+
+    def test_matches_dense_reference_across_shapes(self):
+        for tag in ("k0", "k1", "k2"):
+            key = hashlib.sha256(tag.encode()).digest()
+            for n, s in [(1, 1), (7, 7), (30, 10), (64, 1), (500, 45), (500, 77)]:
+                assert _sample_from_key(key, n, s) == self._dense_sample(
+                    key, n, s
+                ), (tag, n, s)
+
+    def test_golden_pinned_samples(self):
+        # Frozen outputs: any change to the stream or swap order (an
+        # equivalence-breaking "optimization") trips these immediately.
+        golden = {
+            ("golden-a", 30, 10): (24, 2, 13, 15, 21, 17, 25, 12, 20, 16),
+            ("golden-c", 7, 7): (0, 6, 2, 1, 4, 5, 3),
+            ("golden-b", 500, 45): (
+                134, 226, 123, 94, 267, 339, 33, 430, 248, 419, 215, 2, 234,
+                496, 284, 318, 390, 198, 414, 317, 443, 263, 391, 29, 255,
+                101, 472, 261, 20, 358, 364, 136, 466, 73, 115, 225, 485,
+                304, 350, 451, 126, 287, 269, 353, 243,
+            ),
+        }
+        for (tag, n, s), expected in golden.items():
+            key = hashlib.sha256(tag.encode()).digest()
+            assert _sample_from_key(key, n, s) == expected
+
+    def test_distinct_ids_at_scale(self):
+        key = hashlib.sha256(b"distinct").digest()
+        sample = _sample_from_key(key, 2000, 90)
+        assert len(set(sample)) == 90
+        assert all(0 <= r < 2000 for r in sample)
+
+
+class TestVRFOutputMembers:
+    def test_members_cached_per_object(self, vrf):
+        out = vrf.prove(3, "seed", 10)
+        members = out.members()
+        assert members == frozenset(out.sample)
+        assert out.members() is members  # built once, reused
+
+    def test_contains_and_len(self, vrf):
+        out = vrf.prove(3, "seed", 10)
+        assert out.sample[0] in out
+        absent = next(r for r in range(30) if r not in out.sample)
+        assert absent not in out
+        assert len(out) == 10
+
+
+class TestMemoizedVRF:
+    @pytest.fixture
+    def mvrf(self):
+        return MemoizedVRF(KeyRegistry(30))
+
+    def test_bit_identical_to_fresh_vrf(self, mvrf, vrf):
+        for replica in (0, 5, 29):
+            for s in (1, 10, 30):
+                assert mvrf.prove(replica, "z", s) == vrf.prove(replica, "z", s)
+
+    def test_prove_memo_hits_on_repeat(self, mvrf):
+        a = mvrf.prove(3, "seed", 10)
+        b = mvrf.prove(3, "seed", 10)
+        assert a is b
+        assert mvrf.prove_hits == 1 and mvrf.prove_misses == 1
+
+    def test_verify_memo_identity_pinned(self, mvrf):
+        out = mvrf.prove(3, "seed", 10)
+        assert mvrf.verify(3, "seed", 10, out)
+        assert mvrf.verify(3, "seed", 10, out)
+        assert mvrf.verify_hits == 1 and mvrf.verify_misses == 1
+        # An equal-but-distinct object misses (identity key, not equality).
+        clone = VRFOutput(sample=out.sample, proof=out.proof)
+        assert mvrf.verify(3, "seed", 10, clone)
+        assert mvrf.verify_misses == 2
+
+    def test_verify_memo_rejects_forgery_consistently(self, mvrf):
+        out = mvrf.prove(3, "seed", 10)
+        forged = replace(out, proof=b"\x00" * 32)
+        assert not mvrf.verify(3, "seed", 10, forged)
+        assert not mvrf.verify(3, "seed", 10, forged)  # cached False
+        assert mvrf.verify_hits == 1
+
+    def test_prove_with_never_memoized(self, mvrf):
+        key = hashlib.sha256(b"corrupted").digest()
+        a = mvrf.prove_with(key, 3, "seed", 10)
+        b = mvrf.prove_with(key, 3, "seed", 10)
+        assert a == b and a is not b
+        assert mvrf.prove_misses == 0  # registry-path memo untouched

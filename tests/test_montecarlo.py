@@ -144,3 +144,72 @@ class TestViewChangeScenario:
             large.estimates["decides_from_partial_prepare"].point
             > small.estimates["decides_from_partial_prepare"].point
         )
+
+
+class TestVectorizedEstimators:
+    """The batched numpy kernels must be bit-identical to the general path.
+
+    Each trial in a batch draws from its own ``default_rng(derive_seed(...))``
+    generator, so the full MonteCarloResult (every ProportionEstimate, the
+    mean prepared fraction, the trial count) must match the one-trial-per-
+    spec dispatch exactly — for any batch size, including ragged tails.
+    """
+
+    def test_prepare_quorum_matches_general(self):
+        from repro.montecarlo.experiments import estimate_prepare_quorum
+
+        general = estimate_prepare_quorum(100, 20, 1.7, trials=400, seed=11)
+        for batch_size in (400, 256, 77, 1):
+            vectorized = estimate_prepare_quorum(
+                100, 20, 1.7, trials=400, seed=11,
+                vectorized=True, batch_size=batch_size,
+            )
+            assert vectorized == general, batch_size
+
+    def test_termination_matches_general(self):
+        from repro.montecarlo.experiments import estimate_termination
+
+        general = estimate_termination(100, 20, 1.7, trials=300, seed=12)
+        vectorized = estimate_termination(
+            100, 20, 1.7, trials=300, seed=12, vectorized=True, batch_size=64
+        )
+        assert vectorized == general
+
+    def test_viewchange_matches_general(self):
+        from repro.montecarlo.experiments import estimate_viewchange_decide
+
+        general = estimate_viewchange_decide(100, 20, 1.7, trials=500, seed=13)
+        vectorized = estimate_viewchange_decide(
+            100, 20, 1.7, trials=500, seed=13, vectorized=True, batch_size=128
+        )
+        assert vectorized == general
+
+    def test_full_sample_branch_matches(self):
+        # o large enough that s == n exercises the broadcast-arange branch.
+        from repro.montecarlo.experiments import estimate_prepare_quorum
+
+        general = estimate_prepare_quorum(40, 8, 4.0, trials=120, seed=14)
+        vectorized = estimate_prepare_quorum(
+            40, 8, 4.0, trials=120, seed=14, vectorized=True, batch_size=50
+        )
+        assert vectorized == general
+
+    def test_vectorized_rejects_stopping_rules(self):
+        from repro.harness.adaptive import TargetWidth
+        from repro.montecarlo.experiments import estimate_prepare_quorum
+
+        with pytest.raises(ValueError, match="fixed budgets only"):
+            estimate_prepare_quorum(
+                100, 20, 1.7, trials=400, seed=11,
+                vectorized=True,
+                stopping=TargetWidth(0.05, metric="prepare_first"),
+            )
+
+    def test_invalid_batch_size(self):
+        from repro.montecarlo.experiments import estimate_prepare_quorum
+
+        with pytest.raises(ValueError, match="batch_size"):
+            estimate_prepare_quorum(
+                100, 20, 1.7, trials=40, seed=11,
+                vectorized=True, batch_size=0,
+            )

@@ -153,3 +153,82 @@ class TestTransport:
         t.schedule(5.0, lambda: fired.append(t.now))
         sim.run()
         assert fired == [5.0]
+
+
+class TestDuplication:
+    def make_dup_net(self, prob, n=4, latency=None, gst=0.0, seed=0):
+        sim = Simulator()
+        net = Network(
+            sim,
+            n,
+            latency=latency or ConstantLatency(1.0),
+            gst=gst,
+            duplicate_prob=prob,
+            duplicate_seed=seed,
+        )
+        inboxes = {r: [] for r in range(n)}
+        for r in range(n):
+            net.register(r, lambda src, msg, r=r: inboxes[r].append((src, msg)))
+        return sim, net, inboxes
+
+    # duplicate_prob=1.0 is rejected (it would make "at least once" mean
+    # "exactly twice"); 1 - 1e-6 is deterministically always-duplicate for
+    # the seeded streams used here.
+    ALWAYS = 1.0 - 1e-6
+
+    def test_prob_one_duplicates_every_send(self):
+        sim, net, inboxes = self.make_dup_net(self.ALWAYS)
+        net.send(0, 1, "m")
+        sim.run()
+        assert inboxes[1] == [(0, "m"), (0, "m")]
+        assert net.stats.delivered_total == 2
+        assert net.stats.sent_total == 1  # dups are network noise, not sends
+
+    def test_prob_zero_never_duplicates(self):
+        sim, net, inboxes = self.make_dup_net(0.0)
+        for _ in range(20):
+            net.send(0, 1, "m")
+        sim.run()
+        assert len(inboxes[1]) == 20
+
+    def test_duplicate_uses_fresh_latency_draw(self):
+        # With constant latency the duplicate lands exactly one delay after
+        # the original.
+        sim, net, inboxes = self.make_dup_net(self.ALWAYS, latency=ConstantLatency(2.0))
+        net.send(0, 1, "m")
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(("orig", len(inboxes[1]))))
+        sim.schedule_at(4.0, lambda: fired.append(("dup", len(inboxes[1]))))
+        sim.run()
+        assert fired == [("orig", 1), ("dup", 2)]
+
+    def test_duplicate_bounded_by_two_delta_from_send_time(self):
+        # Pre-GST chaos can push the original to its deadline; the duplicate
+        # must still respect max(now, GST) + 2Δ stated from the send time,
+        # and must never land before the original.
+        sim, net, inboxes = self.make_dup_net(
+            self.ALWAYS, latency=UniformLatency(low=1.0, high=5.0, seed=3), gst=0.0
+        )
+        deliveries = []
+        net.register(1, lambda src, msg: deliveries.append(sim.now))
+        for _ in range(50):
+            sim_now = sim.now
+            net.send(0, 1, "m")
+            bound = max(sim_now, net.gst) + 2 * net.max_delay
+            sim.run()
+            assert len(deliveries) == 2
+            orig, dup = deliveries
+            assert orig <= dup <= bound + 1e-9
+            deliveries.clear()
+
+    def test_duplicate_stream_is_seeded(self):
+        def pattern(seed):
+            sim, net, inboxes = self.make_dup_net(0.5, seed=seed)
+            for _ in range(40):
+                net.send(0, 1, "m")
+            sim.run()
+            return len(inboxes[1])
+
+        assert pattern(7) == pattern(7)  # deterministic per seed
+        counts = {pattern(s) for s in range(8)}
+        assert len(counts) > 1  # and the seed actually matters

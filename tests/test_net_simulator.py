@@ -148,3 +148,92 @@ class TestRunControl:
         sim.schedule(1.0, reenter)
         sim.run()
         assert len(errors) == 1
+
+
+class TestCancellationCompaction:
+    def test_pending_events_is_live_counter(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        handles[0].cancel()
+        handles[1].cancel()
+        handles[1].cancel()  # idempotent: no double decrement
+        assert sim.pending_events == 8
+        sim.step()  # fires the earliest live event (t=3)
+        assert sim.pending_events == 7
+
+    def test_tombstone_majority_compacts_heap(self):
+        sim = Simulator()
+        total = 4 * Simulator._COMPACT_FLOOR
+        handles = [
+            sim.schedule(float(i + 1), lambda: None) for i in range(total)
+        ]
+        assert len(sim._heap) == total
+        # Cancel just over half; the lazy sweep must drop every tombstone.
+        for h in handles[: total // 2 + 1]:
+            h.cancel()
+        live = total - (total // 2 + 1)
+        assert sim.pending_events == live
+        assert len(sim._heap) == live
+        assert all(entry[3] is not None for entry in sim._heap)
+
+    def test_small_heaps_are_not_compacted(self):
+        sim = Simulator()
+        total = Simulator._COMPACT_FLOOR - 2
+        handles = [
+            sim.schedule(float(i + 1), lambda: None) for i in range(total)
+        ]
+        for h in handles:
+            h.cancel()
+        # Below the floor the tombstones stay; the pop loop skims them.
+        assert len(sim._heap) == total
+        assert sim.pending_events == 0
+        assert sim.step() is False
+        assert sim._heap == []
+
+    def test_survivors_fire_in_order_after_compaction(self):
+        sim = Simulator()
+        fired = []
+        total = 2 * Simulator._COMPACT_FLOOR
+        handles = [
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(total)
+        ]
+        for h in handles[::2]:  # cancel every even slot -> majority sweep
+            h.cancel()
+        for h in handles[1::4]:
+            h.cancel()
+        expected = [i for i in range(total) if i % 2 == 1 and (i - 1) % 4 != 0]
+        sim.run()
+        assert fired == expected
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.run()
+        assert fired == ["x"]
+        before = sim.pending_events
+        handle.cancel()  # must not decrement counters or mark cancelled
+        handle.cancel()
+        assert sim.pending_events == before == 0
+        # A fresh event still schedules and fires cleanly afterwards.
+        sim.schedule(1.0, lambda: fired.append("y"))
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["x", "y"]
+
+    def test_compaction_preserves_cancelled_flag_semantics(self):
+        sim = Simulator()
+        total = 4 * Simulator._COMPACT_FLOOR
+        handles = [
+            sim.schedule(float(i + 1), lambda: None) for i in range(total)
+        ]
+        doomed = handles[: total // 2 + 1]
+        for h in doomed:
+            h.cancel()
+        # Handles keep answering correctly even though their entries were
+        # swept out of the heap.
+        assert all(h.cancelled for h in doomed)
+        assert not any(h.cancelled for h in handles[total // 2 + 1 :])
