@@ -1,30 +1,43 @@
-"""BENCH-SCALE — protocol trial throughput versus n, dense against sparse.
+"""BENCH-SCALE — protocol trial throughput versus n, dense / sparse / gossip.
 
 The sparse delivery layer (:mod:`repro.net.sparse` plus ProBFT's
-:class:`~repro.core.observation.SampleObservationPolicy`) exists to push
-full-protocol trials past n≈1000.  This bench pins its two promises:
+:class:`~repro.core.observation.SampleObservationPolicy`) and the gossip
+dissemination layer (:mod:`repro.net.gossip`) exist to push full-protocol
+trials past n≈1000.  This bench pins their promises:
 
-* **bit-identity** — at small n (where dense is cheap enough to replay)
-  the sparse run's :class:`~repro.harness.trial.RunResult` must equal the
-  dense run's, seed for seed;
+* **bit-identity** — wherever dense is replayed, the sparse run's
+  :class:`~repro.harness.trial.RunResult` must equal the dense run's, seed
+  for seed; and at identity scale (n ≤ 50) a gossip-*off* round trip of the
+  spec must equal dense too (the dissemination seam adds nothing when off).
 * **throughput** — at n=500 the sparse path must clear **5x** dense
-  trials/sec; above that, dense is measured only while affordable and
-  sparse carries the curve to n=2000.
+  trials/sec; above the dense ceiling the row carries an explicit
+  ``"dense": "skipped"`` marker (absence of a number is a decision, not a
+  gap) and sparse carries the curve to n=5000.
+* **gossip** — every point also measures sparse+gossip trials/sec: the
+  realistic-dissemination cost curve (the leader's O(n) broadcast replaced
+  by O(log n)-fanout sample-and-forward hops).
 
 Trials route through the normal execution-backend seam
 (``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_BACKEND``): each trial is one
 seeded :func:`~repro.harness.trial.run_trial` of the ProBFT happy-path
 cell under constant latency.  Every (mode, n) pass is preceded by an
 untimed pass over the same seeds so the pooled crypto contexts (keys +
-VRF proves) are warm for both modes alike — the recorded numbers are
-steady-state trial throughput, not keygen.
+VRF proves) are warm for both modes alike, and each timed pass starts from
+a freshly collected heap (``gc.collect()``) so deferred generation-2
+cycles from the warm pass cannot land inside the timed region — the
+recorded numbers are steady-state trial throughput, not keygen or GC debt.
 
-Writes ``BENCH_scale.json`` at the repo root (trials/sec per n for both
+Run with ``--quick`` (or ``REPRO_BENCH_QUICK=1``) for the 1-core CI
+profile: the two smallest points only, same seeds, same assertions — small
+enough to regenerate on every CI run, deterministic enough to compare.
+
+Writes ``BENCH_scale.json`` at the repo root (trials/sec per n for all
 modes) so successive PRs can track the scaling frontier.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import pathlib
@@ -42,12 +55,16 @@ MASTER_SEED = 2024
 MAX_TIME = 300.0
 
 #: (n, trials) — trial counts taper so the whole bench stays CI-sized.
-SCALE_POINTS = ((50, 3), (200, 3), (500, 3), (1000, 2), (2000, 1))
+SCALE_POINTS = ((50, 3), (200, 3), (500, 3), (1000, 2), (2000, 2), (5000, 1))
+
+#: The ``--quick`` profile: small enough for a 1-core CI runner to
+#: regenerate on every push, with the same seeds and assertions.
+QUICK_POINTS = ((50, 3), (200, 2))
 
 #: Dense is replayed only while affordable; sparse covers every point.
 DENSE_CEILING = 500
 
-#: Bit-identity is asserted wherever dense runs at or below this n.
+#: Gossip-off round-trip identity is asserted at or below this n.
 IDENTITY_CEILING = 50
 
 #: The acceptance bar: sparse throughput over dense at this n.
@@ -58,6 +75,12 @@ WORKERS = workers_from_env("REPRO_BENCH_WORKERS", default=0)
 BACKEND = backend_from_env("REPRO_BENCH_BACKEND", default=None)
 
 ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: Trial modes measured per point.  ``gossip`` rides on sparse delivery —
+#: the production configuration for large n.  ``gossip-off`` is the dense
+#: spec round-tripped through ``with_gossip(True).with_gossip(False)``,
+#: used only for the identity assertion.
+MODES = ("dense", "sparse", "gossip", "gossip-off")
 
 
 def _cell(n: int) -> MatrixCell:
@@ -73,48 +96,69 @@ def _cell(n: int) -> MatrixCell:
 
 def _scale_trial(spec: TrialSpec):
     """One seeded protocol trial (module-level: pickles to pool workers)."""
-    n, sparse = spec.params
+    n, mode = spec.params
     dspec = cell_deployment_spec(_cell(n), seed=spec.seed, max_time=MAX_TIME)
-    if sparse:
+    if mode == "sparse":
         dspec = dspec.with_sparse()
+    elif mode == "gossip":
+        dspec = dspec.with_gossip(True).with_sparse()
+    elif mode == "gossip-off":
+        dspec = dspec.with_gossip(True).with_gossip(False)
     return run_trial(dspec)
 
 
-def _timed_pass(engine: ExperimentEngine, n: int, trials: int, sparse: bool):
+def _timed_pass(engine: ExperimentEngine, n: int, trials: int, mode: str):
     """Warm pass (fills the pooled crypto for these exact seeds), then a
     timed pass over the same seeds; returns (results, trials/sec)."""
+    assert mode in MODES, mode
     engine.run_trials(
-        _scale_trial, trials, master_seed=MASTER_SEED, params=(n, sparse)
+        _scale_trial, trials, master_seed=MASTER_SEED, params=(n, mode)
     )
+    # Pay down any deferred cyclic-GC debt *outside* the timed region;
+    # trials disable the collector while running, so a warm pass can leave
+    # a large pending gen-2 collection behind.
+    gc.collect()
     start = time.perf_counter()
     results = engine.run_trials(
-        _scale_trial, trials, master_seed=MASTER_SEED, params=(n, sparse)
+        _scale_trial, trials, master_seed=MASTER_SEED, params=(n, mode)
     )
     elapsed = time.perf_counter() - start
     return results, trials / elapsed if elapsed else float("inf")
 
 
-def compute_scale_curve():
+def compute_scale_curve(points=SCALE_POINTS):
     engine = ExperimentEngine(workers=WORKERS, backend=BACKEND)
     rows = {}
     try:
-        for n, trials in SCALE_POINTS:
-            sparse_results, sparse_tps = _timed_pass(engine, n, trials, True)
+        for n, trials in points:
+            sparse_results, sparse_tps = _timed_pass(engine, n, trials, "sparse")
+            _gossip_results, gossip_tps = _timed_pass(engine, n, trials, "gossip")
             row = {
                 "f": (n - 1) // 5,
                 "trials": trials,
                 "sparse_trials_per_sec": round(sparse_tps, 3),
+                "gossip_trials_per_sec": round(gossip_tps, 3),
             }
             if n <= DENSE_CEILING:
-                dense_results, dense_tps = _timed_pass(engine, n, trials, False)
+                dense_results, dense_tps = _timed_pass(engine, n, trials, "dense")
                 row["dense_trials_per_sec"] = round(dense_tps, 3)
                 row["speedup"] = round(sparse_tps / dense_tps, 2)
+                # Identity is asserted at every n where dense runs —
+                # comparing results already in hand costs nothing.
+                row["identical"] = dense_results == sparse_results
                 if n <= IDENTITY_CEILING:
-                    row["identical"] = dense_results == sparse_results
+                    off_results, _off_tps = _timed_pass(
+                        engine, n, trials, "gossip-off"
+                    )
+                    row["gossip_off_identical"] = dense_results == off_results
+            else:
+                # Explicit marker: dense was skipped by policy, the number
+                # is not missing.
+                row["dense"] = "skipped"
             rows[str(n)] = row
     finally:
         engine.close()
-    return {
+    out = {
         "bench": "scale-sparse-delivery",
         "protocol": "probft",
         "adversary": "none",
@@ -124,42 +168,86 @@ def compute_scale_curve():
         "backend": BACKEND or ("serial" if WORKERS <= 1 else "pool"),
         "cpu_count": os.cpu_count() or 1,
         "rows": rows,
-        "speedup_at_500": rows[str(SPEEDUP_AT_N)]["speedup"],
     }
+    speedup_key = str(SPEEDUP_AT_N)
+    if speedup_key in rows and "speedup" in rows[speedup_key]:
+        out["speedup_at_500"] = rows[speedup_key]["speedup"]
+    return out
 
 
-@pytest.mark.benchmark(group="scale")
-def test_bench_scale(benchmark, report):
-    row = benchmark.pedantic(compute_scale_curve, rounds=1, iterations=1)
-    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
-    table = [
+def _assert_scale_contract(row, points):
+    """The bench's promises, shared by the full and ``--quick`` profiles."""
+    for n, _ in points:
+        cells = row["rows"][str(n)]
+        if n <= DENSE_CEILING:
+            assert cells["identical"], f"n={n}: sparse diverged from dense"
+            assert "dense" not in cells
+        else:
+            assert cells["dense"] == "skipped"
+            assert "dense_trials_per_sec" not in cells
+        if n <= IDENTITY_CEILING:
+            assert cells["gossip_off_identical"], (
+                f"n={n}: gossip-off diverged from dense"
+            )
+        assert cells["gossip_trials_per_sec"] > 0
+    if "speedup_at_500" in row:
+        assert row["speedup_at_500"] >= SPEEDUP_FLOOR, row["speedup_at_500"]
+
+
+def _render(row, points):
+    return [
         [
             n,
             row["rows"][n]["trials"],
-            row["rows"][n].get("dense_trials_per_sec", "—"),
+            row["rows"][n].get(
+                "dense_trials_per_sec", row["rows"][n].get("dense", "—")
+            ),
             row["rows"][n]["sparse_trials_per_sec"],
+            row["rows"][n]["gossip_trials_per_sec"],
             row["rows"][n].get("speedup", "—"),
             row["rows"][n].get("identical", "—"),
+            row["rows"][n].get("gossip_off_identical", "—"),
         ]
-        for n in (str(n) for n, _ in SCALE_POINTS)
+        for n in (str(n) for n, _ in points)
     ]
+
+
+@pytest.mark.benchmark(group="scale")
+def test_bench_scale(benchmark, report, bench_quick):
+    points = QUICK_POINTS if bench_quick else SCALE_POINTS
+    row = benchmark.pedantic(
+        compute_scale_curve, args=(points,), rounds=1, iterations=1
+    )
+    if not bench_quick:
+        # Only the full profile overwrites the tracked artifact; a quick CI
+        # run must not shrink the committed scaling curve.
+        ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     report(
         render_table(
-            ["n", "trials", "dense t/s", "sparse t/s", "speedup", "identical"],
-            table,
+            [
+                "n",
+                "trials",
+                "dense t/s",
+                "sparse t/s",
+                "gossip t/s",
+                "speedup",
+                "identical",
+                "gossip-off ==",
+            ],
+            _render(row, points),
             title=(
                 f"BENCH-SCALE: ProBFT happy-path trials/sec vs n "
                 f"(constant latency, workers={WORKERS}, "
-                f"cpus={row['cpu_count']})\n"
-                f"wrote {ARTIFACT.name}; sparse must be bit-identical and "
+                f"cpus={row['cpu_count']}, "
+                f"profile={'quick' if bench_quick else 'full'})\n"
+                + (
+                    "quick profile: artifact NOT rewritten"
+                    if bench_quick
+                    else f"wrote {ARTIFACT.name}"
+                )
+                + f"; sparse must be bit-identical wherever dense runs and "
                 f">= {SPEEDUP_FLOOR}x dense at n={SPEEDUP_AT_N}"
             ),
         )
     )
-    # Equivalence: wherever dense was replayed at identity scale, the
-    # sparse RunResults must match seed for seed.
-    for n, _ in SCALE_POINTS:
-        if n <= IDENTITY_CEILING:
-            assert row["rows"][str(n)]["identical"], f"n={n} diverged"
-    # Throughput: the sparse fast path must clear the bar at n=500.
-    assert row["speedup_at_500"] >= SPEEDUP_FLOOR, row["speedup_at_500"]
+    _assert_scale_contract(row, points)

@@ -195,18 +195,31 @@ def cmd_sweep(args) -> int:
     # Build the engine here so the report's execution metadata reflects what
     # actually ran (an explicit concurrent backend without --workers
     # saturates the cores — the resolved count lives on the backend).
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     with ExperimentEngine(workers=workers, backend=args.backend) as engine:
         backend_name = engine.backend_name
         effective_workers = engine.workers
-        report = run_matrix(
-            matrix,
-            trials=args.trials,
-            master_seed=args.seed,
-            engine=engine,
-            max_time=args.max_time,
-            target_width=args.target_width,
-            chunk=args.chunk,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            report = run_matrix(
+                matrix,
+                trials=args.trials,
+                master_seed=args.seed,
+                engine=engine,
+                max_time=args.max_time,
+                target_width=args.target_width,
+                chunk=args.chunk,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+    if profiler is not None:
+        _write_profile(profiler, args.profile)
     if args.json:
         # NaN (e.g. mean decision time when nothing decided) is not valid
         # JSON; emit null so strict parsers accept the report.  Execution
@@ -265,6 +278,31 @@ def cmd_sweep(args) -> int:
             )
         )
     return 0 if report.all_agreement_ok else 1
+
+
+def _write_profile(profiler, path_str: str) -> None:
+    """Persist a sweep profile: raw ``.pstats`` plus a cumulative top-25
+    table, side by side.  The table also goes to stderr so it never
+    corrupts a ``--json`` report on stdout."""
+    import io
+    import pathlib
+    import pstats
+
+    path = pathlib.Path(path_str)
+    if path.suffix != ".pstats":
+        path = path.with_name(path.name + ".pstats")
+    profiler.dump_stats(path)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    table = buf.getvalue()
+    table_path = path.with_suffix(".top25.txt")
+    table_path.write_text(table)
+    print(
+        f"profile: wrote {path} (load with pstats/snakeviz) and {table_path}",
+        file=sys.stderr,
+    )
+    print(table, file=sys.stderr)
 
 
 def cmd_plot(args) -> int:
@@ -437,6 +475,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--max-time", type=float, default=5000.0)
     p_sweep.add_argument(
         "--json", action="store_true", help="emit a JSON report instead of a table"
+    )
+    p_sweep.add_argument(
+        "--profile",
+        nargs="?",
+        const="sweep_profile.pstats",
+        default=None,
+        metavar="PATH",
+        help=(
+            "cProfile the sweep: write raw stats to PATH (default "
+            "sweep_profile.pstats) plus a top-25 cumulative table next to "
+            "it (PATH with .top25.txt), and echo the table to stderr; with "
+            "a concurrent backend only the coordinating process is "
+            "profiled, so pair with the default serial backend to see "
+            "trial internals"
+        ),
     )
     p_sweep.set_defaults(fn=cmd_sweep)
 

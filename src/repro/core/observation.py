@@ -16,15 +16,23 @@ maintained in :meth:`inspect`, which sees every message entering the network
 strictly before the corresponding deliveries fire, so the fire-time verdict
 in :meth:`deliverable` is never stale.
 
-Suppression rules (fire time, honest ``dst`` only):
+Suppression rules (fire time, honest ``dst`` only; equivocal-flagged views
+are exempt from all of them):
 
 * ``view < dst's current view`` — the replica's view gate drops the vote
   unread (stale messages cannot trigger equivocation: lines 23–25 require
   ``inner.view == curView``).
-* ``view == dst's current view`` and ``dst ∉ sample`` and view not flagged
-  equivocal — the vote fails the ``i ∈ S`` precondition, and no conflict is
-  possible: every leader-signed statement seen for this view carries the
-  one recorded value, including whichever proposal ``dst`` accepted.
+* **progress pruning** — a Prepare for a view ``dst`` has already committed
+  (``_try_form_prepared`` early-returns on ``view ∈ committedViews``; the
+  prepared certificate was snapshotted at quorum time and the collector is
+  never re-read), or a Commit to a ``dst`` that has already decided
+  (decisions are permanent; ``_try_decide`` early-returns forever, and
+  commit collectors are only ever read by it).  Either way the delivery
+  could only mutate dead collector state.
+* ``view == dst's current view`` and ``dst ∉ sample`` — the vote fails the
+  ``i ∈ S`` precondition, and no conflict is possible: every leader-signed
+  statement seen for this view carries the one recorded value, including
+  whichever proposal ``dst`` accepted.
 * anything else — deliver (future views are buffered and replayed; flagged
   views, non-votes, malformed votes and Byzantine recipients are all
   handled densely).
@@ -33,15 +41,21 @@ Only statements actually signed by ``leader(view)`` are tracked: a flooder's
 fake statement signed by itself can never trigger line 23 (which checks the
 signer *is* the leader), so it must not flag the view equivocal and degrade
 the run to dense.
+
+The policy reads replica state (``_cur_view``, ``_committed_views``,
+``_decision``) straight off the deployment's replica objects: the verdict
+runs per (message, recipient) on the hottest path in a large-n trial, and a
+probe-callable indirection per recipient is measurable there.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, Set
 
 from ..config import ProtocolConfig
 from ..messages.base import ProposalStatement
 from ..messages.probft import Commit, Prepare, extract_statement
+from ..net.gossip import GossipEnvelope
 from ..net.sparse import SparseDeliveryPolicy
 from ..types import ReplicaId, Value, View
 from .leader import leader_of_view
@@ -53,19 +67,21 @@ class SampleObservationPolicy(SparseDeliveryPolicy):
     Args:
         config: the deployment's protocol config (domain + n).
         byzantine_ids: recipients with arbitrary handlers — never suppressed.
-        view_of: fire-time probe for an honest replica's current view.
+        replicas: the deployment's replica map; honest entries are
+            :class:`~repro.core.replica.ProBFTReplica` whose view/progress
+            state the fire-time verdicts read directly.
     """
 
     def __init__(
         self,
         config: ProtocolConfig,
         byzantine_ids: FrozenSet[ReplicaId],
-        view_of: Callable[[ReplicaId], View],
+        replicas: Dict[ReplicaId, object],
     ) -> None:
         self._domain = config.seed_domain
         self._n = config.n
         self._byzantine = frozenset(byzantine_ids)
-        self._view_of = view_of
+        self._replicas = replicas
         self._value_seen: Dict[View, Value] = {}
         self._equivocal: Set[View] = set()
 
@@ -74,6 +90,12 @@ class SampleObservationPolicy(SparseDeliveryPolicy):
         return frozenset(self._equivocal)
 
     def inspect(self, src: ReplicaId, message: object) -> None:
+        if type(message) is GossipEnvelope:
+            # Gossip hops carry the signed proposal one wrapper deeper; the
+            # equivocation flag must still see every hop (a Byzantine leader
+            # equivocates per gossip sample, and relays propagate both
+            # values), so unwrap before statement extraction.
+            message = message.payload
         statement = extract_statement(getattr(message, "payload", None))
         if statement is None:
             return
@@ -97,18 +119,29 @@ class SampleObservationPolicy(SparseDeliveryPolicy):
             # may now react to any statement-bearing message for this view.
             self._equivocal.add(view)
 
+    def _decompose_vote(self, message: object):
+        """``(is_prepare, view, members)`` for a well-formed vote, else None."""
+        payload = getattr(message, "payload", None)
+        if not isinstance(payload, (Prepare, Commit)):
+            return None
+        inner = getattr(payload.statement, "payload", None)
+        if not isinstance(inner, ProposalStatement):
+            return None
+        return (
+            isinstance(payload, Prepare),
+            inner.view,
+            payload.sample.members(),
+        )
+
     def deliverable(self, message: object, dst: ReplicaId) -> bool:
         verdict = self.batch_deliverable(message)
         return True if verdict is True else verdict(dst)
 
     def batch_deliverable(self, message: object):
-        payload = getattr(message, "payload", None)
-        if not isinstance(payload, (Prepare, Commit)):
+        vote = self._decompose_vote(message)
+        if vote is None:
             return True
-        inner = getattr(payload.statement, "payload", None)
-        if not isinstance(inner, ProposalStatement):
-            return True
-        view = inner.view
+        is_prepare, view, members = vote
         # Captured once per fan-out: a mid-bucket flip (a Byzantine recipient
         # sending a fresh conflicting statement from inside this bucket) is
         # safe, because the conflicting statement cannot have been delivered
@@ -116,18 +149,64 @@ class SampleObservationPolicy(SparseDeliveryPolicy):
         # this vote carries, so suppressing its out-of-sample copies remains
         # a no-op for them.
         equivocal = view in self._equivocal
-        members = payload.sample.members()
         byzantine = self._byzantine
-        view_of = self._view_of
+        replicas = self._replicas
 
         def verdict(dst: ReplicaId) -> bool:
             if dst in byzantine:
                 return True
-            dst_view = view_of(dst)
+            replica = replicas[dst]
+            dst_view = replica._cur_view
             if view < dst_view:
                 return False  # dropped unread by the receiver's view gate
             if view > dst_view:
                 return True  # buffered for replay on view entry
-            return equivocal or dst in members
+            if equivocal:
+                return True  # dense: any recipient may need the evidence
+            if is_prepare:
+                if view in replica._committed_views:
+                    return False  # progress pruning (see module docstring)
+            elif replica._decision is not None:
+                return False  # progress pruning
+            return dst in members
 
         return verdict
+
+    def batch_filter(self, message: object, dsts):
+        """One-frame bulk verdict for a coalesced fan-out bucket.
+
+        Exactly :meth:`batch_deliverable`'s per-``dst`` verdict applied to
+        ``dsts`` in order, without a closure call per recipient — this runs
+        for every vote bucket in a trial, so the loop keeps everything in
+        locals.  Delivering to one recipient cannot synchronously change
+        another's state (all sends schedule strictly-future events), so
+        pre-filtering the whole bucket matches interleaved evaluation.
+        """
+        vote = self._decompose_vote(message)
+        if vote is None:
+            return dsts
+        is_prepare, view, members = vote
+        equivocal = view in self._equivocal
+        byzantine = self._byzantine
+        replicas = self._replicas
+        out = []
+        append = out.append
+        for dst in dsts:
+            if dst in byzantine:
+                append(dst)
+                continue
+            replica = replicas[dst]
+            dst_view = replica._cur_view
+            if view < dst_view:
+                continue
+            if view > dst_view or equivocal:
+                append(dst)
+                continue
+            if is_prepare:
+                if view in replica._committed_views:
+                    continue
+            elif replica._decision is not None:
+                continue
+            if dst in members:
+                append(dst)
+        return out

@@ -58,7 +58,14 @@ class ProBFTDeployment:
         track_bytes: bool = False,
         crypto: Optional[CryptoContext] = None,
         sparse: bool = False,
+        dissemination: str = "dense",
+        gossip_fanout: Optional[int] = None,
+        gossip_rounds: Optional[int] = None,
     ) -> None:
+        if dissemination not in ("dense", "gossip"):
+            raise ValueError(
+                f"dissemination must be 'dense' or 'gossip', got {dissemination!r}"
+            )
         self.config = config
         self.seed = seed
         self.sim = Simulator()
@@ -90,9 +97,26 @@ class ProBFTDeployment:
         )
         values = values or {}
 
+        self.dissemination = dissemination
+        if dissemination == "gossip":
+            from ..net.gossip import GossipDisseminator
+
+            self.disseminator: Optional[object] = GossipDisseminator(
+                self.network,
+                config.n,
+                seed,
+                fanout=gossip_fanout,
+                rounds=gossip_rounds,
+                byzantine_ids=self.byzantine_ids,
+            )
+        else:
+            self.disseminator = None
+
         self.replicas: Dict[ReplicaId, object] = {}
         for r in range(config.n):
             transport = Transport(self.network, r)
+            if self.disseminator is not None:
+                transport.use_disseminator(self.disseminator)
             if r in byzantine:
                 replica = byzantine[r](r, config, self.crypto, transport)
             else:
@@ -106,27 +130,38 @@ class ProBFTDeployment:
                     on_decide=self._record_decision,
                     trace=trace,
                 )
-            self.network.register(r, replica.on_message)
+            handler = replica.on_message
+            if self.disseminator is not None:
+                # Gossip hops travel as unicast envelopes and therefore hit
+                # the registered handler directly in both dense and sparse
+                # delivery modes; the wrapper unwraps (and, for correct
+                # recipients, relays) before the protocol sees the payload.
+                handler = self.disseminator.wrap_handler(r, handler)
+            self.network.register(r, handler)
             self.replicas[r] = replica
         self.sparse = sparse
         if sparse:
             from .observation import SampleObservationPolicy
+            from .replica import BulkVoteDispatch
 
-            replicas = self.replicas
-            self.network.use_delivery_policy(
-                SampleObservationPolicy(
-                    config,
-                    self.byzantine_ids,
-                    # Reads the property's backing field directly: the probe
-                    # runs once per coalesced delivery, and the descriptor
-                    # call is measurable at n>=500.
-                    lambda r: replicas[r]._cur_view,
-                )
+            policy = SampleObservationPolicy(
+                config, self.byzantine_ids, self.replicas
             )
+            self.network.use_delivery_policy(policy)
             for r in self._correct_ids:
                 self.network.register_batch(
                     r, self.replicas[r].on_sample_message
                 )
+            self.network.use_bulk_handler(
+                BulkVoteDispatch(
+                    config,
+                    self.crypto,
+                    self.replicas,
+                    self._correct_ids,
+                    self.network._handlers,
+                    policy,
+                )
+            )
         self._started = False
 
     # ------------------------------------------------------------------

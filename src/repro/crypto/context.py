@@ -90,7 +90,11 @@ class CryptoContext:
             # part.  A racing builder may have published meanwhile; keep the
             # first entry so concurrent callers share one VRF cache.
             registry = KeyRegistry(n, master_seed)
-            built = (registry, MemoizedVRF(registry))
+            # A trial proves ~2n+1 sampler keys (prepare + commit per
+            # replica, plus the leader's propose); the default 8192-entry
+            # bound FIFO-thrashes past n≈4000 and the "warm" pass re-proves
+            # everything.  Scale the bound with the deployment size.
+            built = (registry, MemoizedVRF(registry, max_entries=max(8192, 4 * n)))
             with _POOL_LOCK:
                 entry = _POOL.get(key)
                 if entry is None:
@@ -103,7 +107,11 @@ class CryptoContext:
         registry, vrf = entry
         return CryptoContext(
             registry=registry,
-            signatures=MemoizedSignatureScheme(registry),
+            # ~2n vote envelopes per trial: size the per-deployment verify
+            # memo so one trial's envelopes fit without FIFO eviction.
+            signatures=MemoizedSignatureScheme(
+                registry, max_entries=max(8192, 4 * n)
+            ),
             vrf=vrf,
         )
 

@@ -23,7 +23,9 @@ _SEPARATOR = b"\x1f"
 # envelope ever encoded.  Objects that expose ``canonical()`` MUST be
 # immutable for this cache (and for signing in general) to be sound.
 _CANONICAL_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
-_CANONICAL_CACHE_MAX = 16384
+_CANONICAL_CACHE_MAX = 49152  # > 2 trials of inserts at n=2000, so the
+# memoized VRF outputs' (identity-stable) sample encodes survive from one
+# trial to the next instead of being FIFO-evicted and re-encoded.
 
 
 def stable_encode(value: Any) -> bytes:
@@ -34,6 +36,22 @@ def stable_encode(value: Any) -> bytes:
     lists, dicts (sorted by encoded key), sets/frozensets (sorted), and enums
     or dataclass-like objects exposing ``canonical()``.
     """
+    # Exact-type dispatch for the shapes that dominate message encoding
+    # (ints, strings, bytes, tuples); the isinstance chain below remains
+    # the semantic reference and handles every subclass the same way it
+    # always did (``bool`` is not an exact match for ``int``, so the
+    # bool-before-int ordering is preserved).
+    t = type(value)
+    if t is int:
+        return b"I" + str(value).encode()
+    if t is str:
+        raw = value.encode("utf-8")
+        return b"S" + len(raw).to_bytes(8, "big") + raw
+    if t is bytes:
+        return b"Y" + len(value).to_bytes(8, "big") + value
+    if t is tuple:
+        parts = [stable_encode(v) for v in value]
+        return b"L" + len(parts).to_bytes(8, "big") + _SEPARATOR.join(parts)
     if value is None:
         return b"N"
     if isinstance(value, bool):  # must precede int check

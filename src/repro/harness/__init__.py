@@ -181,7 +181,36 @@ Related large-n levers: the analytical estimators take
 ``vectorized=True`` (numpy batch kernels, bit-identical, fixed budgets
 only — see :mod:`repro.montecarlo.vectorized`), and
 ``benchmarks/bench_scale.py`` writes ``BENCH_scale.json`` (trials/sec ×
-n, dense vs sparse) — the scoreboard for scaling regressions.
+n, dense vs sparse vs gossip) — the scoreboard for scaling regressions.
+
+Choosing a dissemination mode
+~~~~~~~~~~~~~~~~~~~~~~~~~~~~~
+
+Orthogonal to *delivery* (dense/sparse — how the simulator schedules
+deliveries, never what is sent) is *dissemination* — how the leader's
+PROPOSE physically spreads (ProBFT only).  ``DeploymentSpec
+.with_gossip()`` swaps the leader's ``O(n)`` broadcast for the
+sample-and-forward gossip of :mod:`repro.net.gossip`: every node forwards
+a fresh proposal once to a seeded deterministic sample of
+``⌈log2 n⌉ + 2`` peers (knobs: ``gossip_fanout``/``gossip_rounds``),
+so no single node — leader included — ever sends ``O(n)`` messages.
+
+Unlike ``with_sparse()``, gossip **changes the run**: more total
+messages, one-to-two extra latency hops, and per-seed (still fully
+deterministic) dissemination trajectories.  Estimates are statistically
+consistent with dense runs, not bit-equal to them.  Pick by question:
+
+* **dense** (default) — reproducing the paper's numbers, golden-seed
+  pinning, any comparison against the analytical model (which assumes
+  one-step proposal delivery).
+* **gossip** — studying realistic dissemination at scale: per-node
+  bandwidth bounded by fan-out, equivocation under partial information
+  (a Byzantine leader restricts only its *own* first hop — honest relays
+  leak conflicting proposals across its partitions), flooding
+  amplification through honest relays.  Compose with ``with_sparse()``
+  for large n; ``with_gossip(False)`` round-trips to exact dense
+  semantics (``tests/test_gossip.py`` pins identity on every
+  protocol × adversary cell).
 
 Adversary dispatch and cost columns
 -----------------------------------

@@ -24,6 +24,7 @@ experiment surface (runners, matrix, sweeps, CLI) at once.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -156,6 +157,13 @@ class DeploymentSpec:
     #: equivalent to dense mode but orders of magnitude fewer simulator
     #: events at large n.  Off by default: dense is the reference semantics.
     sparse: bool = False
+    #: Leader-proposal dissemination: ``"dense"`` (reference semantics, an
+    #: O(n) broadcast) or ``"gossip"`` (sample-and-forward with O(log n)
+    #: per-node fan-out; see :mod:`repro.net.gossip`).
+    dissemination: str = "dense"
+    #: Gossip knobs; None means the protocol default ``⌈log2 n⌉ + 2``.
+    gossip_fanout: Optional[int] = None
+    gossip_rounds: Optional[int] = None
     max_time: Optional[float] = None
     max_events: int = 5_000_000
     extra: Tuple[Tuple[str, Any], ...] = ()
@@ -168,6 +176,28 @@ class DeploymentSpec:
         """The same trial with sparse delivery toggled (for A/B equivalence)."""
         return replace(self, sparse=sparse)
 
+    def with_gossip(
+        self,
+        enabled: bool = True,
+        fanout: Optional[int] = None,
+        rounds: Optional[int] = None,
+    ) -> "DeploymentSpec":
+        """The same trial with gossip dissemination toggled.
+
+        ``with_gossip(False)`` returns the dense-dissemination twin with the
+        knobs cleared — the A/B partner for bit-identity checks.
+        """
+        if not enabled:
+            return replace(
+                self, dissemination="dense", gossip_fanout=None, gossip_rounds=None
+            )
+        return replace(
+            self,
+            dissemination="gossip",
+            gossip_fanout=fanout,
+            gossip_rounds=rounds,
+        )
+
     def build(self):
         """Construct the protocol's deployment (does not run it)."""
         factory = _factory(self.protocol)
@@ -176,6 +206,13 @@ class DeploymentSpec:
             # Only forwarded when set so third-party factories registered
             # before the sparse seam keep working untouched.
             kwargs["sparse"] = True
+        if self.dissemination != "dense":
+            # Same only-when-set contract as ``sparse``.
+            kwargs["dissemination"] = self.dissemination
+            if self.gossip_fanout is not None:
+                kwargs["gossip_fanout"] = self.gossip_fanout
+            if self.gossip_rounds is not None:
+                kwargs["gossip_rounds"] = self.gossip_rounds
         return factory(
             self.config,
             seed=self.seed,
@@ -212,9 +249,22 @@ class TrialContext:
     def execute(self) -> RunResult:
         if self.result is None:
             deployment = self.build()
-            deployment.run(
-                max_time=self.spec.max_time, max_events=self.spec.max_events
-            )
+            # Cyclic-GC collections dominate wall clock at large n: a trial
+            # keeps ~n·s live acyclic objects (votes, quorum buckets, queue
+            # entries) that every generation-2 scan re-traverses for nothing
+            # — at n=2000 the collector costs more than the protocol.  All
+            # per-message garbage is refcount-freed, so pausing the cycle
+            # collector for the run changes no observable behaviour.
+            was_enabled = gc.isenabled()
+            if was_enabled:
+                gc.disable()
+            try:
+                deployment.run(
+                    max_time=self.spec.max_time, max_events=self.spec.max_events
+                )
+            finally:
+                if was_enabled:
+                    gc.enable()
             self.result = summarize(self.spec.protocol, deployment)
         return self.result
 

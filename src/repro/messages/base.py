@@ -9,6 +9,11 @@ from typing import Any, Optional
 from ..types import ReplicaId, Value, View
 
 
+#: Per-class field-name tuples: ``dataclasses.fields`` rebuilds Field
+#: objects on every call, and ``canonical()`` sits on the signing hot path.
+_FIELD_NAMES: dict = {}
+
+
 class CanonicalMessage:
     """Mixin giving dataclasses a canonical encoding for signing/hashing.
 
@@ -17,10 +22,13 @@ class CanonicalMessage:
     """
 
     def canonical(self) -> Any:
-        values = tuple(
-            getattr(self, f.name) for f in dataclasses.fields(self)  # type: ignore[arg-type]
-        )
-        return (type(self).__name__,) + values
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = _FIELD_NAMES[cls] = tuple(
+                f.name for f in dataclasses.fields(self)  # type: ignore[arg-type]
+            )
+        return (cls.__name__,) + tuple(getattr(self, n) for n in names)
 
 
 @dataclass(frozen=True)

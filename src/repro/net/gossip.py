@@ -1,0 +1,206 @@
+"""Sample-based gossip dissemination (Erdős–Rényi push gossip).
+
+ProBFT's vote traffic is already sample-based (each replica multicasts to a
+VRF-chosen sample), but the leader's PROPOSE remains a dense ``O(n)``
+broadcast.  *Scalable Byzantine Reliable Broadcast* (arXiv 1908.01738)
+shows that Erdős–Rényi sample-and-forward gossip reaches every correct
+process w.h.p. with per-node fan-out ``O(log n)`` — exactly the
+dissemination shape the rest of the protocol assumes.  This module provides
+that layer as a network-level service:
+
+* :class:`GossipEnvelope` — the wire wrapper: the original signed payload
+  plus a dissemination key and a remaining-round budget (TTL).
+* :class:`GossipDisseminator` — the per-deployment service.  ``disseminate``
+  seeds the first hop from the origin; each *correct* recipient forwards
+  the payload once (duplicate suppression per ``(recipient, key)``) to its
+  own deterministic sample until the TTL runs out.
+
+Determinism: every sample draw is a pure function of
+``(deployment seed, dissemination key, forwarding node, remaining TTL)``
+via :func:`repro.crypto.hashing.digest`, so a trial's gossip trajectory is
+reproducible per seed — there is no hidden RNG state, and two runs with the
+same seed disseminate identically.
+
+Byzantine origins: ``disseminate(..., restrict=...)`` limits the *origin's*
+first hop to a chosen target list (in order), which is how an equivocating
+leader aims each conflicting proposal at its own partition.  Honest
+recipients still relay unrestricted — a Byzantine leader controls whom *it*
+talks to, never how honest nodes forward, so equivocation under gossip
+leaks across partitions at relay speed (observable in the detection-rate
+estimates).
+
+Duplicate copies are *delivered* (the protocol's own handlers dedup, same
+as a real network) but never *re-forwarded*.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..crypto.hashing import digest
+from ..errors import ConfigError
+from ..messages.base import CanonicalMessage
+from ..types import ReplicaId
+
+
+def default_fanout(n: int) -> int:
+    """Per-node forwarding fan-out ``⌈log2 n⌉ + 2`` (w.h.p. coverage)."""
+    return max(3, math.ceil(math.log2(max(2, n))) + 2)
+
+
+def default_rounds(n: int) -> int:
+    """Round (TTL) budget ``⌈log2 n⌉ + 2``: infection saturates in
+    ``O(log n)`` rounds, the slack covers unlucky early draws."""
+    return max(3, math.ceil(math.log2(max(2, n))) + 2)
+
+
+@dataclass(frozen=True)
+class GossipEnvelope(CanonicalMessage):
+    """Wire wrapper for one gossip hop.
+
+    ``key`` identifies the dissemination (origin id, per-origin sequence);
+    ``ttl`` is the number of forwarding rounds *remaining* after this hop.
+    """
+
+    payload: object
+    key: Tuple[ReplicaId, int]
+    ttl: int
+
+
+class GossipDisseminator:
+    """Erdős–Rényi sample-and-forward dissemination over a ``Network``.
+
+    Args:
+        network: the deployment's network (hops are plain unicast sends, so
+            latency/chaos/duplication and byte accounting all apply).
+        n: system size.
+        seed: deployment seed; all sample draws derive from it.
+        fanout: per-node forwarding sample size (default ``⌈log2 n⌉+2``).
+        rounds: TTL budget for a dissemination (default ``⌈log2 n⌉+2``).
+        byzantine_ids: recipients that never relay (their behaviour object
+            decides what to do with delivered payloads instead).
+    """
+
+    def __init__(
+        self,
+        network,
+        n: int,
+        seed: int,
+        fanout: Optional[int] = None,
+        rounds: Optional[int] = None,
+        byzantine_ids: Iterable[ReplicaId] = (),
+    ) -> None:
+        self.fanout = default_fanout(n) if fanout is None else fanout
+        self.rounds = default_rounds(n) if rounds is None else rounds
+        if self.fanout < 1:
+            raise ConfigError(f"gossip fanout must be >= 1, got {self.fanout}")
+        if self.rounds < 1:
+            raise ConfigError(f"gossip rounds must be >= 1, got {self.rounds}")
+        self._network = network
+        self._n = n
+        self._seed = seed
+        self._byzantine = frozenset(byzantine_ids)
+        self._seen: Set[Tuple[ReplicaId, Tuple[ReplicaId, int]]] = set()
+        self._next_seq: Dict[ReplicaId, int] = {}
+        #: (key, recipient) pairs delivered at least once — exposed for
+        #: reachability tests and coverage metrics.
+        self.delivered: Dict[Tuple[ReplicaId, int], Set[ReplicaId]] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_for(
+        self, node: ReplicaId, key: Tuple[ReplicaId, int], ttl: int
+    ) -> List[ReplicaId]:
+        """The deterministic forwarding sample for ``node`` at ``ttl``.
+
+        A pure function of ``(seed, key, node, ttl)`` — callable by tests
+        and adversaries to predict exactly whom a node will contact.
+        """
+        tag = digest("gossip-sample", self._seed, key, node, ttl)
+        rng = random.Random(int.from_bytes(tag[:8], "big"))
+        pool = [r for r in range(self._n) if r != node]
+        k = min(self.fanout, len(pool))
+        return rng.sample(pool, k)
+
+    # ------------------------------------------------------------------
+    # Origination
+    # ------------------------------------------------------------------
+    def disseminate(
+        self,
+        origin: ReplicaId,
+        message: object,
+        restrict: Optional[Sequence[ReplicaId]] = None,
+    ) -> Tuple[ReplicaId, int]:
+        """Start a dissemination from ``origin``; returns its key.
+
+        ``restrict`` replaces the origin's first-hop sample with an explicit
+        target list (sent in the given order) — the Byzantine-origin hook.
+        Honest relaying beyond the first hop is never restricted.
+        """
+        seq = self._next_seq.get(origin, 0)
+        self._next_seq[origin] = seq + 1
+        key = (origin, seq)
+        # The origin has trivially "seen" its own dissemination.
+        self._seen.add((origin, key))
+        ttl = self.rounds - 1
+        if restrict is not None:
+            first_hop: Sequence[ReplicaId] = [
+                dst for dst in restrict if dst != origin
+            ]
+        else:
+            first_hop = self.sample_for(origin, key, self.rounds)
+        envelope = GossipEnvelope(payload=message, key=key, ttl=ttl)
+        send = self._network.send
+        for dst in first_hop:
+            send(origin, dst, envelope)
+        return key
+
+    # ------------------------------------------------------------------
+    # Receipt + relay
+    # ------------------------------------------------------------------
+    def on_receive(
+        self, recipient: ReplicaId, envelope: GossipEnvelope
+    ) -> object:
+        """Record receipt, relay once if correct, return the inner payload."""
+        key = envelope.key
+        self.delivered.setdefault(key, set()).add(recipient)
+        mark = (recipient, key)
+        if mark in self._seen:
+            return envelope.payload  # duplicate: deliver, never re-forward
+        self._seen.add(mark)
+        ttl = envelope.ttl
+        if ttl >= 1 and recipient not in self._byzantine:
+            relayed = GossipEnvelope(
+                payload=envelope.payload, key=key, ttl=ttl - 1
+            )
+            send = self._network.send
+            for dst in self.sample_for(recipient, key, ttl):
+                send(recipient, dst, relayed)
+        return envelope.payload
+
+    def wrap_handler(self, recipient: ReplicaId, handler):
+        """Wrap a replica's registered handler with envelope unwrapping.
+
+        Non-gossip traffic passes through untouched (one ``type`` check —
+        vote fan-outs in sparse mode bypass this entirely via the batch /
+        bulk delivery paths, so the wrapper is off the hot path).
+        """
+
+        def deliver(src: ReplicaId, message: object) -> None:
+            if type(message) is GossipEnvelope:
+                handler(src, self.on_receive(recipient, message))
+            else:
+                handler(src, message)
+
+        return deliver
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def coverage(self, key: Tuple[ReplicaId, int]) -> int:
+        """How many distinct replicas have received ``key`` so far."""
+        return len(self.delivered.get(key, ()))

@@ -147,6 +147,7 @@ class Network:
         self._size_cache: "OrderedDict[int, Tuple[object, int]]" = OrderedDict()
         self._handlers: Dict[ReplicaId, DeliveryHandler] = {}
         self._batch_handlers: Dict[ReplicaId, BatchDeliveryHandler] = {}
+        self._bulk_handler: Optional[Callable] = None
         self._delivery: Optional[SparseDeliveryPolicy] = None
         #: Optional predicate mirroring the deployment's ``stop_when``; the
         #: coalesced fan-out checks it between recipients so sparse runs keep
@@ -189,6 +190,17 @@ class Network:
                 f"replica {replica} has no plain handler registered"
             )
         self._batch_handlers[replica] = handler
+
+    def use_bulk_handler(self, handler: Optional[Callable]) -> None:
+        """Attach a bucket-level delivery kernel (sparse mode only).
+
+        ``handler(src, message, dsts, probe)`` may deliver a whole coalesced
+        bucket in one call, returning the number of recipients delivered —
+        or -1 to decline, in which case the generic per-recipient loop runs.
+        The handler owns probe-between-deliveries stop semantics for the
+        buckets it accepts.
+        """
+        self._bulk_handler = handler
 
     def use_delivery_policy(self, policy: Optional[SparseDeliveryPolicy]) -> None:
         """Switch multicast/broadcast to the sparse coalesced fan-out path.
@@ -324,13 +336,20 @@ class Network:
             # Skipping the per-target calls consumes no stream a seeded
             # model would have consumed, so this stays bit-identical.
             handlers = self._handlers
-            dsts = []
-            for dst in targets:
-                if dst not in handlers:
-                    raise NotRegisteredError(
-                        f"no handler registered for replica {dst}"
-                    )
-                dsts.append(dst)
+            if len(handlers) == self._n:
+                # Fully-wired network (every deployment): registration can't
+                # fail, so skip the per-target membership probe.  Callers
+                # never mutate the target list after dispatch, so a list
+                # passes through without copying.
+                dsts = targets if type(targets) is list else list(targets)
+            else:
+                dsts = []
+                for dst in targets:
+                    if dst not in handlers:
+                        raise NotRegisteredError(
+                            f"no handler registered for replica {dst}"
+                        )
+                    dsts.append(dst)
             delivery = max(min(now + self._latency.delay(src, src), deadline), floor)
             if dsts:
                 buckets[delivery] = dsts
@@ -386,43 +405,45 @@ class Network:
         self, src: ReplicaId, message: object, dsts: list
     ) -> None:
         """Deliver one coalesced time bucket, probing ``stop_probe`` between
-        recipients (the kernel already checked before this event fired)."""
+        actual deliveries (the kernel already checked before this event
+        fired, and a suppressed delivery cannot change the stop predicate —
+        its dense twin is a handler call that provably mutates nothing the
+        predicate reads — so skipping its probe keeps dense's stop point)."""
         policy = self._delivery
-        verdict = True if policy is None else policy.batch_deliverable(message)
+        if policy is not None:
+            # The bulk kernel sees the *raw* bucket and does its own pruning
+            # inline (one pass instead of filter-then-deliver); it declines
+            # (-1) anything it does not fully understand, which then takes
+            # the filtered generic loop below.
+            bulk = self._bulk_handler
+            if bulk is not None and dsts:
+                delivered = bulk(src, message, dsts, self.stop_probe)
+                if delivered >= 0:
+                    if delivered:
+                        stats = self.stats
+                        stats.delivered_by_type[
+                            message_type_name(message)
+                        ] += delivered
+                        stats.delivered_total += delivered
+                    return
+            dsts = policy.batch_filter(message, dsts)
         stats = self.stats
         handlers = self._handlers
         batch_handlers = self._batch_handlers
+        batch_get = batch_handlers.get
         probe = self.stop_probe
         shared: dict = {}
         delivered = 0
-        first = True
         try:
-            if verdict is True:
-                for dst in dsts:
-                    if first:
-                        first = False
-                    elif probe is not None and probe():
-                        return
-                    delivered += 1
-                    batch = batch_handlers.get(dst)
-                    if batch is not None:
-                        batch(src, message, shared)
-                    else:
-                        handlers[dst](src, message)
-            else:
-                for dst in dsts:
-                    if first:
-                        first = False
-                    elif probe is not None and probe():
-                        return
-                    if not verdict(dst):
-                        continue
-                    delivered += 1
-                    batch = batch_handlers.get(dst)
-                    if batch is not None:
-                        batch(src, message, shared)
-                    else:
-                        handlers[dst](src, message)
+            for dst in dsts:
+                if delivered and probe is not None and probe():
+                    return
+                delivered += 1
+                batch = batch_get(dst)
+                if batch is not None:
+                    batch(src, message, shared)
+                else:
+                    handlers[dst](src, message)
         finally:
             # One bulk update per bucket: identical totals to dense's
             # per-delivery increments, at a fraction of the dict traffic.

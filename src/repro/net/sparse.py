@@ -66,6 +66,23 @@ class SparseDeliveryPolicy:
         """
         return True
 
+    def batch_filter(self, message: object, dsts: list) -> list:
+        """Bulk form of :meth:`batch_deliverable`: the deliverable subset of
+        ``dsts``, in order.
+
+        This is what :meth:`Network._deliver_fanout` actually calls — one
+        verdict pass per bucket instead of a callable invocation per
+        recipient.  The default derives it from :meth:`batch_deliverable`;
+        policies on hot paths override it with a single-frame loop.
+        Pre-filtering is equivalent to interleaved evaluation because
+        delivering to one recipient never synchronously mutates another
+        (every send schedules a strictly-future event).
+        """
+        verdict = self.batch_deliverable(message)
+        if verdict is True:
+            return dsts
+        return [dst for dst in dsts if verdict(dst)]
+
 
 #: Alias that reads better at call sites wanting *only* event coalescing.
 CoalescingDelivery = SparseDeliveryPolicy

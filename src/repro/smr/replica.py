@@ -77,6 +77,14 @@ class _SlotTransport:
             SlotEnvelope(slot=self._slot, inner=message), include_self=include_self
         )
 
+    def disseminate(self, message: object, restrict=None) -> None:
+        # SMR deployments are dense-only (no gossip service attached), so
+        # delegating after enveloping keeps slot traffic byte-identical to
+        # the pre-seam broadcast/send calls.
+        self._base.disseminate(
+            SlotEnvelope(slot=self._slot, inner=message), restrict=restrict
+        )
+
     def schedule(self, delay: float, callback) -> object:
         return self._base.schedule(delay, callback)
 

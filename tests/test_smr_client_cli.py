@@ -93,3 +93,48 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepProfile:
+    def test_profile_writes_pstats_and_top25_table(self, tmp_path, capsys):
+        """``sweep --profile PATH`` leaves a loadable .pstats file plus the
+        top-25 cumulative table next to it, without touching stdout."""
+        import pstats
+
+        target = tmp_path / "prof"
+        code = main(
+            [
+                "sweep",
+                "smoke",
+                "--trials",
+                "1",
+                "--max-time",
+                "600",
+                "--json",
+                "--profile",
+                str(target),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # stdout stays valid JSON; the profile table goes to stderr.
+        import json
+
+        json.loads(captured.out)
+        assert "cumulative" in captured.err
+        stats_path = tmp_path / "prof.pstats"
+        table_path = tmp_path / "prof.top25.txt"
+        assert stats_path.exists() and table_path.exists()
+        stats = pstats.Stats(str(stats_path))
+        assert stats.total_calls > 0
+        table = table_path.read_text()
+        assert "Ordered by: cumulative time" in table
+        assert "run_matrix" in table
+
+    def test_profile_flag_absent_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(["sweep", "smoke", "--trials", "1", "--max-time", "600", "--json"])
+            == 0
+        )
+        assert list(tmp_path.glob("*.pstats")) == []
