@@ -1,0 +1,174 @@
+"""BENCH-SMR-SERVING — closed-loop serving throughput and tail latency.
+
+The serving question behind the paper's headline claim: is probabilistic
+consensus cheap enough to back a request-serving system?  This bench
+drives the full closed-loop stack (:mod:`repro.smr.workload`) over the
+scenario matrix **adversary × load level** and records throughput plus
+the p50/p99/p999 commit-latency profile per cell:
+
+* adversaries: ``none``, ``equivocating-leader`` (the view-1 leader of
+  every slot splits proposals; each slot pays a view-change timeout
+  before an honest leader serves it), ``flooding`` (a replica sprays
+  forged junk; signature rejection absorbs it);
+* load levels: ``low`` (clients mostly thinking — the latency floor) and
+  ``high`` (saturated queues — the regime where batching matters).
+
+A **batching ablation** re-runs the high-load no-fault cell with
+``batch_size=1, pipeline=1`` and asserts the batched configuration's
+throughput is strictly higher — the serving claim the replica-side
+batching exists to earn.
+
+All cells are single seeded simulations (`run_serving_trial`), so every
+number is deterministic per seed.  Run with ``--quick`` (or
+``REPRO_BENCH_QUICK=1``) for the 1-core CI profile: a downsized client
+population, same seeds, same assertions, tracked artifact left untouched.
+
+Writes ``BENCH_smr_serving.json`` at the repo root (one row per cell plus
+the ablation) so successive PRs can track the serving frontier.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.tables import render_table
+from repro.smr.workload import LOAD_LEVELS, SERVING_ADVERSARIES, ServingSpec, run_serving_trial
+
+SEED = 2024
+
+ARTIFACT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_smr_serving.json"
+)
+
+#: The ``--quick`` profile downsizes the client population (~200 requests
+#: across the matrix) so a 1-core CI runner regenerates it on every push.
+QUICK_OVERRIDES = {"num_clients": 8, "requests_per_client": 4}
+
+#: The ablation cell: high-load no-fault, batching off.
+ABLATION = {"adversary": "none", "load": "high"}
+
+
+def _cells(quick: bool):
+    overrides = QUICK_OVERRIDES if quick else {}
+    return [
+        ServingSpec(adversary=adversary, load=load, seed=SEED, **overrides)
+        for adversary in SERVING_ADVERSARIES
+        for load in LOAD_LEVELS
+    ]
+
+
+def compute_serving_matrix(quick: bool):
+    rows = [run_serving_trial(spec).row() for spec in _cells(quick)]
+    overrides = QUICK_OVERRIDES if quick else {}
+    unbatched = run_serving_trial(
+        ServingSpec(
+            seed=SEED, batch_size=1, pipeline=1, **ABLATION, **overrides
+        )
+    ).row()
+    unbatched["cell"] = "ablation:unbatched"
+    batched = next(
+        r
+        for r in rows
+        if r["adversary"] == ABLATION["adversary"]
+        and r["load"] == ABLATION["load"]
+    )
+    return {
+        "bench": "smr-serving",
+        "n": rows[0]["n"],
+        "f": rows[0]["f"],
+        "seed": SEED,
+        "profile": "quick" if quick else "full",
+        "rows": rows,
+        "ablation": {
+            "batched_throughput": batched["throughput"],
+            "unbatched_throughput": unbatched["throughput"],
+            "speedup": round(
+                batched["throughput"] / unbatched["throughput"], 2
+            )
+            if unbatched["throughput"]
+            else None,
+            "row": unbatched,
+        },
+    }
+
+
+def _assert_serving_contract(out):
+    """The bench's promises, shared by the full and ``--quick`` profiles."""
+    assert len(out["rows"]) == len(SERVING_ADVERSARIES) * len(LOAD_LEVELS)
+    for row in out["rows"]:
+        cell = (row["adversary"], row["load"])
+        assert row["completed"] > 0, cell
+        assert row["throughput"] > 0, cell
+        assert row["logs_consistent"], cell
+        assert row["timed_out"] == 0, cell
+    ablation = out["ablation"]
+    assert (
+        ablation["batched_throughput"] > ablation["unbatched_throughput"]
+    ), ablation
+
+
+def _fmt(value):
+    return "-" if value is None else f"{value:.2f}"
+
+
+def _render(out):
+    rows = out["rows"] + [out["ablation"]["row"]]
+    return [
+        [
+            row.get("cell", row["adversary"]),
+            row["load"],
+            f"{row['batch_size']}/{row['pipeline']}",
+            row["completed"],
+            row["timed_out"],
+            f"{row['throughput']:.3f}",
+            _fmt(row["p50_latency"]),
+            _fmt(row["p99_latency"]),
+            _fmt(row["p999_latency"]),
+            row["logs_consistent"],
+        ]
+        for row in rows
+    ]
+
+
+@pytest.mark.benchmark(group="smr-serving")
+def test_bench_smr_serving(benchmark, report, bench_quick):
+    out = benchmark.pedantic(
+        compute_serving_matrix, args=(bench_quick,), rounds=1, iterations=1
+    )
+    if not bench_quick:
+        # Only the full profile overwrites the tracked artifact; a quick CI
+        # run must not shrink the committed serving matrix.
+        ARTIFACT.write_text(json.dumps(out, indent=2) + "\n")
+    report(
+        render_table(
+            [
+                "adversary",
+                "load",
+                "batch/pipe",
+                "completed",
+                "timed out",
+                "tput",
+                "p50",
+                "p99",
+                "p999",
+                "logs ok",
+            ],
+            _render(out),
+            title=(
+                f"BENCH-SMR-SERVING: closed-loop serving matrix "
+                f"(n={out['n']}, f={out['f']}, seed={SEED}, "
+                f"profile={out['profile']})\n"
+                + (
+                    "quick profile: artifact NOT rewritten"
+                    if bench_quick
+                    else f"wrote {ARTIFACT.name}"
+                )
+                + f"; batching speedup on high-load cell: "
+                f"{out['ablation']['speedup']}x"
+            ),
+        )
+    )
+    _assert_serving_contract(out)

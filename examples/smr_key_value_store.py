@@ -1,19 +1,30 @@
 #!/usr/bin/env python3
 """A replicated key-value store on ProBFT (the paper's future work, §7).
 
-Ten replicas run a multi-slot state machine: each slot is an independent
-ProBFT instance (domain-scoped messages and VRF seeds), decided commands are
-applied in slot order, and two replicas are Byzantine-silent throughout.
+Replicas run a multi-slot state machine: each slot is an independent
+ProBFT instance (domain-scoped messages and VRF seeds), decided commands
+are applied in slot order, and two replicas are Byzantine-silent
+throughout.  Clients submit through :class:`~repro.smr.client.SMRClient`,
+which wraps every command in a unique ``(client_id, seq)`` request
+envelope — two clients writing the same bytes are distinct requests —
+and reports per-request commit latency once ``f + 1`` replicas apply it.
+
+The second half drives the same machinery as a *service*: a closed-loop
+client population (`repro.smr.workload`) measuring throughput and tail
+latency, with leader-side batching amortizing consensus slots across
+requests.
 
 Run:  python examples/smr_key_value_store.py
 """
 
 from repro.config import ProtocolConfig
 from repro.smr.app import KeyValueApp
+from repro.smr.client import SMRClient
 from repro.smr.service import SMRDeployment
+from repro.smr.workload import ServingSpec, run_serving_trial
 
 
-def main() -> None:
+def replicated_store() -> None:
     config = ProtocolConfig(n=10, f=2)
     print("configuration:", config.describe())
 
@@ -24,33 +35,67 @@ def main() -> None:
         seed=3,
         byzantine_ids=[8, 9],  # two silent Byzantine members
     )
-    workload = [
-        b"SET user:1 alice",
-        b"SET user:2 bob",
-        b"SET balance:1 100",
-        b"DEL user:2",
-        b"SET balance:1 250",
+    alice = SMRClient(deployment)
+    bob = SMRClient(deployment)
+    requests = [
+        alice.submit(b"SET user:1 alice"),
+        bob.submit(b"SET user:2 bob"),
+        alice.submit(b"SET balance:1 100"),
+        bob.submit(b"DEL user:2"),
+        # Same bytes as alice's write: a *distinct* request — identity is
+        # (client_id, seq), not the payload.
+        bob.submit(b"SET balance:1 100"),
+        alice.submit(b"SET balance:1 250"),
     ]
-    for command in workload:
-        deployment.submit_to_all(command)
-    print(f"submitted {len(workload)} commands; replicas 8, 9 are silent\n")
+    print(f"submitted {len(requests)} requests; replicas 8, 9 are silent\n")
 
     deployment.run(max_time=50_000)
 
     print(f"all slots applied: {deployment.all_applied()}")
     print(f"logs consistent:   {deployment.logs_consistent()}")
     print(f"states consistent: {deployment.snapshots_consistent()}")
-    print(f"simulated time:    {deployment.sim.now:.1f} "
-          f"({deployment.num_slots} slots x 3 steps + slack)\n")
+
+    print("\nrequests (request id -> slot, commit latency):")
+    for record in requests:
+        print(
+            f"  client {record.client_id} seq {record.seq}: "
+            f"{record.payload!r:24} -> slot {record.slot}, "
+            f"latency {record.latency:.1f}"
+        )
+    for client, name in ((alice, "alice"), (bob, "bob")):
+        print(
+            f"{name}: mean latency {client.mean_latency():.1f}, "
+            f"p99 {client.p99_latency():.1f}, timed out {client.timed_out}"
+        )
 
     reference = deployment.replicas[0]
-    print("ordered log (replica 0):")
-    for slot in range(1, reference.log.applied_up_to + 1):
-        value = reference.log.value_of(slot)
-        result = reference.log.result_of(slot)
-        print(f"  slot {slot}: {value!r:30} -> {result!r}")
-
     print("\nfinal store state:", dict(reference.log.app.store))
+
+
+def serving_benchmark() -> None:
+    print("\n--- closed-loop serving trial (batched vs unbatched) ---")
+    for label, batch_size, pipeline in (
+        ("batched (batch=8, pipeline=4)", 8, 4),
+        ("unbatched (pipeline=1)", 1, 1),
+    ):
+        spec = ServingSpec(
+            load="high",
+            num_clients=16,
+            requests_per_client=3,
+            batch_size=batch_size,
+            pipeline=pipeline,
+        )
+        result = run_serving_trial(spec)
+        print(
+            f"{label:32} throughput {result.throughput:6.3f} req/t  "
+            f"p50 {result.p50_latency:5.1f}  p99 {result.p99_latency:5.1f}  "
+            f"completed {result.completed}/{result.issued}"
+        )
+
+
+def main() -> None:
+    replicated_store()
+    serving_benchmark()
 
 
 if __name__ == "__main__":

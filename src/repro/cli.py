@@ -7,6 +7,11 @@ Commands:
 * ``attack``   — run the Figure-4c equivocation attack;
 * ``figures``  — print the analytic Figure 1b / Figure 5 series;
 * ``smr``      — run a multi-slot replicated counter;
+* ``serve``    — closed-loop SMR serving benchmark: simulated client
+  populations (think times, in-flight windows, deterministic per-client
+  RNGs) against a batching/pipelining deployment, with throughput and
+  p50/p99/p999 latency columns; ``--matrix`` crosses load levels ×
+  adversaries (equivocating leader, flooding);
 * ``sweep``    — run a named scenario matrix (protocols × adversaries ×
   latency models) through the parallel experiment engine — on any execution
   backend (``--backend serial|pool|async|sharded``, ``--workers auto`` for
@@ -130,16 +135,102 @@ def cmd_smr(args) -> int:
     for i in range(min(args.slots, 5)):
         client.submit(b"ADD:%d" % (i + 1))
     deployment.run(max_time=args.max_time)
+    mean_latency = client.mean_latency()
     rows = [
         ["slots applied", min(r.log.applied_up_to for r in deployment.replicas.values())],
         ["logs consistent", deployment.logs_consistent()],
         ["states consistent", deployment.snapshots_consistent()],
         ["requests completed", f"{len(client.completed_requests())}/{len(client.requests)}"],
-        ["mean request latency", round(client.mean_latency(), 2)],
+        ["requests timed out", client.timed_out],
+        ["mean request latency", "-" if mean_latency is None else round(mean_latency, 2)],
         ["final counter", list(deployment.snapshots().values())[0]],
     ]
     print(render_table(["field", "value"], rows, title="SMR run"))
     return 0 if deployment.all_applied() else 1
+
+
+def _fmt_latency(value) -> object:
+    return "-" if value is None else round(value, 2)
+
+
+def cmd_serve(args) -> int:
+    from .smr.workload import (
+        LOAD_LEVELS,
+        SERVING_ADVERSARIES,
+        ServingSpec,
+        run_serving_trial,
+        serving_cells,
+    )
+
+    overrides = {}
+    for name in (
+        "n",
+        "f",
+        "num_clients",
+        "requests_per_client",
+        "think_time",
+        "window",
+        "batch_size",
+        "pipeline",
+        "max_pending",
+        "seed",
+        "timeout",
+        "max_time",
+    ):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    if args.matrix:
+        specs = serving_cells(**overrides)
+    else:
+        specs = [
+            ServingSpec(adversary=args.adversary, load=args.load, **overrides)
+        ]
+    results = [run_serving_trial(spec) for spec in specs]
+    if args.json:
+        print(json.dumps([r.row() for r in results], indent=2, allow_nan=False))
+    else:
+        headers = [
+            "adversary",
+            "load",
+            "completed",
+            "timed_out",
+            "throughput",
+            "p50",
+            "p99",
+            "p999",
+            "logs_ok",
+        ]
+        rows = [
+            [
+                r.adversary,
+                r.load,
+                f"{r.completed}/{r.issued}",
+                r.timed_out,
+                round(r.throughput, 3),
+                _fmt_latency(r.p50_latency),
+                _fmt_latency(r.p99_latency),
+                _fmt_latency(r.p999_latency),
+                r.logs_consistent,
+            ]
+            for r in results
+        ]
+        print(
+            render_table(
+                headers,
+                rows,
+                title=(
+                    "SMR serving: closed-loop clients "
+                    f"(adversaries {', '.join(sorted(SERVING_ADVERSARIES))}; "
+                    f"loads {', '.join(sorted(LOAD_LEVELS))})"
+                ),
+            )
+        )
+    ok = all(
+        r.logs_consistent and r.completed > 0 and r.throughput > 0
+        for r in results
+    )
+    return 0 if ok else 1
 
 
 def cmd_sweep(args) -> int:
@@ -398,6 +489,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_smr.add_argument("--slots", type=int, default=5)
     p_smr.add_argument("--max-time", type=float, default=50_000.0)
     p_smr.set_defaults(fn=cmd_smr)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="closed-loop SMR serving benchmark (load levels x adversaries)",
+    )
+    p_serve.add_argument(
+        "--adversary",
+        choices=["none", "equivocating-leader", "flooding"],
+        default="none",
+        help="Byzantine behaviour hosted in every slot",
+    )
+    p_serve.add_argument(
+        "--load",
+        choices=["low", "high"],
+        default="high",
+        help="load-level preset (client count, window, think time)",
+    )
+    p_serve.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run every adversary x load cell instead of a single one",
+    )
+    p_serve.add_argument("--n", type=int, default=None, help="system size")
+    p_serve.add_argument("--f", type=int, default=None, help="fault threshold")
+    p_serve.add_argument("--num-clients", type=int, default=None)
+    p_serve.add_argument("--requests-per-client", type=int, default=None)
+    p_serve.add_argument("--think-time", type=float, default=None)
+    p_serve.add_argument("--window", type=int, default=None)
+    p_serve.add_argument("--batch-size", type=int, default=None)
+    p_serve.add_argument("--pipeline", type=int, default=None)
+    p_serve.add_argument("--max-pending", type=int, default=None)
+    p_serve.add_argument("--seed", type=int, default=None)
+    p_serve.add_argument("--timeout", type=float, default=None)
+    p_serve.add_argument("--max-time", type=float, default=None)
+    p_serve.add_argument(
+        "--json", action="store_true", help="emit JSON rows instead of a table"
+    )
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_sweep = sub.add_parser(
         "sweep",

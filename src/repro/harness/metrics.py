@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 def mean(values: Sequence[float]) -> float:
@@ -47,6 +47,116 @@ def stddev(values: Sequence[float]) -> float:
         return 0.0
     m = mean(values)
     return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Uses the standard linear-interpolation-between-closest-ranks definition
+    (numpy's default), so ``percentile(vs, 50)`` is the median.  Returns
+    ``None`` for empty input — serving cells where nothing completed must
+    surface as explicit gaps, never as NaN quietly flowing into reports
+    (the tail-latency sibling of the :func:`mean` NaN contract, which we
+    keep for backward compatibility there).
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class LatencyAccumulator:
+    """Latency distribution accumulator for serving experiments.
+
+    Collects per-request latencies plus an explicit count of requests that
+    never completed, and reports the summary the serving harness and CLI
+    print everywhere: mean / p50 / p99 / p999 with ``None`` (not NaN) when
+    nothing completed.  Mergeable like the other streaming accumulators so
+    per-trial summaries fan in across matrix cells.
+
+    Unlike :class:`Welford` this keeps the raw observations — tail
+    percentiles are not computable in O(1) memory, and serving runs are
+    bounded by the request budget, so the materialized list is fine.
+    """
+
+    __slots__ = ("latencies", "incomplete")
+
+    def __init__(self) -> None:
+        self.latencies: List[float] = []
+        self.incomplete = 0
+
+    def add(self, latency: Optional[float]) -> None:
+        """Record one request: its latency, or ``None`` if it never completed."""
+        if latency is None:
+            self.incomplete += 1
+        else:
+            self.latencies.append(latency)
+
+    def extend(self, latencies) -> "LatencyAccumulator":
+        for latency in latencies:
+            self.add(latency)
+        return self
+
+    def merge(self, other: "LatencyAccumulator") -> "LatencyAccumulator":
+        self.latencies.extend(other.latencies)
+        self.incomplete += other.incomplete
+        return self
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def total(self) -> int:
+        return len(self.latencies) + self.incomplete
+
+    @property
+    def mean(self) -> Optional[float]:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile(self, q: float) -> Optional[float]:
+        return percentile(self.latencies, q)
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(99)
+
+    @property
+    def p999(self) -> Optional[float]:
+        return self.percentile(99.9)
+
+    def summary(self) -> dict:
+        """JSON-ready summary with explicit completion accounting."""
+        return {
+            "completed": self.completed,
+            "incomplete": self.incomplete,
+            "mean_latency": self.mean,
+            "p50_latency": self.p50,
+            "p99_latency": self.p99,
+            "p999_latency": self.p999,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyAccumulator(completed={self.completed}, "
+            f"incomplete={self.incomplete})"
+        )
 
 
 def wilson_interval(

@@ -9,16 +9,43 @@ messages.
 
 * :mod:`repro.smr.app` — the application interface plus two reference state
   machines (counter, key-value store).
+* :mod:`repro.smr.encoding` — wire framing inside consensus values: request
+  envelopes (``(client_id, seq)`` identities) and command batches.
 * :mod:`repro.smr.log` — the ordered decision log with in-order application.
 * :mod:`repro.smr.replica` — an SMR replica multiplexing per-slot ProBFT
-  replicas over one transport.
-* :mod:`repro.smr.service` — deployment wiring and a simple client API.
+  replicas over one transport (batching, pipelining, backpressure), plus
+  the Byzantine slot multiplexer hosting adversaries in every slot.
+* :mod:`repro.smr.service` — deployment wiring and consistency checks.
+* :mod:`repro.smr.client` — the request-id client API.
+* :mod:`repro.smr.workload` — closed-loop load generation and the serving
+  trial entry point (adversaries × load levels).
 """
 
 from .app import StateMachine, CounterApp, KeyValueApp, NOOP
+from .client import RequestRecord, SMRClient
+from .encoding import (
+    commands_in,
+    decode_batch,
+    decode_request,
+    encode_batch,
+    encode_request,
+    request_payload,
+)
 from .log import DecisionLog
-from .replica import SMRReplica, SlotEnvelope
+from .replica import ByzantineSlotMultiplexer, SMRReplica, SlotEnvelope
 from .service import SMRDeployment
+from .workload import (
+    LOAD_LEVELS,
+    SERVING_ADVERSARIES,
+    ServingResult,
+    ServingSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+    run_serving_trial,
+    run_serving_trial_spec,
+    serving_cells,
+    serving_trials,
+)
 
 __all__ = [
     "StateMachine",
@@ -27,6 +54,25 @@ __all__ = [
     "NOOP",
     "DecisionLog",
     "SMRReplica",
+    "ByzantineSlotMultiplexer",
     "SlotEnvelope",
     "SMRDeployment",
+    "SMRClient",
+    "RequestRecord",
+    "encode_request",
+    "decode_request",
+    "request_payload",
+    "encode_batch",
+    "decode_batch",
+    "commands_in",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "ServingSpec",
+    "ServingResult",
+    "run_serving_trial",
+    "run_serving_trial_spec",
+    "serving_cells",
+    "serving_trials",
+    "SERVING_ADVERSARIES",
+    "LOAD_LEVELS",
 ]

@@ -1,17 +1,33 @@
-"""SMR client: submits commands and tracks end-to-end ordering latency.
+"""SMR client: submits identified requests and tracks end-to-end latency.
 
-Models the standard BFT client: broadcast each request to all replicas and
-consider it complete once ``f + 1`` replicas report having *applied* it (at
-least one of those reports is from a correct replica, so the result is
+Models the standard BFT client: wrap each command in a ``(client_id, seq)``
+request envelope (:mod:`repro.smr.encoding`), broadcast it to all replicas,
+and consider it complete once ``f + 1`` replicas report having *applied* it
+(at least one of those reports is from a correct replica, so the result is
 authoritative).
+
+Request identity is the envelope, not the payload: two clients submitting
+``b"INC"`` — or one client submitting it twice — are distinct requests with
+distinct log entries and independently tracked latencies.  Payload-keyed
+tracking (the original design) made equal payloads collide with a
+``ValueError``, which no real workload survives.
+
+Clients may attach to a deployment at any time.  A client constructed
+after ``deployment.start()`` replays the applies the deployment has
+already recorded into a local history, so a re-attached client (same
+``client_id``) resubmitting a request that was in fact ordered while it
+was away completes immediately from history (``record.recovered`` is set)
+instead of hanging forever.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..harness.metrics import LatencyAccumulator, percentile
 from ..types import ReplicaId, Value
+from .encoding import commands_in, decode_request, encode_request
 from .service import SMRDeployment
 
 
@@ -19,11 +35,19 @@ from .service import SMRDeployment
 class RequestRecord:
     """Lifecycle of one client request."""
 
-    command: Value
+    client_id: int
+    seq: int
+    payload: Value
+    command: Value  # the full request envelope as it appears in the log
     submitted_at: float
     acked_by: Set[ReplicaId] = field(default_factory=set)
     completed_at: Optional[float] = None
     slot: Optional[int] = None
+    recovered: bool = False  # completed from replayed pre-attach history
+
+    @property
+    def request_id(self) -> Tuple[int, int]:
+        return (self.client_id, self.seq)
 
     @property
     def completed(self) -> bool:
@@ -39,55 +63,174 @@ class RequestRecord:
 class SMRClient:
     """A client of an :class:`SMRDeployment`.
 
-    Wire the client *before* running the deployment; it hooks the
-    deployment's apply notifications to detect request completion.
+    May be wired before or after the deployment starts: construction
+    replays already-recorded applies into an ack history (see module
+    docstring), then hooks the deployment's apply notifications for live
+    completion tracking.
+
+    ``on_complete`` (settable any time) is invoked with each
+    :class:`RequestRecord` the moment it completes — the closed-loop hook
+    the workload generator uses to issue a client's next request.
     """
 
-    def __init__(self, deployment: SMRDeployment) -> None:
+    def __init__(
+        self,
+        deployment: SMRDeployment,
+        client_id: Optional[int] = None,
+        on_complete: Optional[Callable[[RequestRecord], None]] = None,
+    ) -> None:
         self._deployment = deployment
-        self._requests: Dict[Value, RequestRecord] = {}
+        self.client_id = (
+            deployment.allocate_client_id() if client_id is None else client_id
+        )
+        self.on_complete = on_complete
+        self._next_seq = 1
+        self._requests: Dict[Tuple[int, int], RequestRecord] = {}
+        self._order: List[Tuple[int, int]] = []
         self._ack_threshold = deployment.config.f + 1
+        # Acks seen for request ids nobody here is (yet) tracking: the
+        # replayed pre-attach history plus live applies for other clients'
+        # requests.  Keyed by request id -> {replica: slot}.
+        self._history: Dict[Tuple[int, int], Dict[ReplicaId, int]] = {}
         # Chain onto the deployment's apply recorder.
         self._previous_recorder = deployment._record_apply
         deployment._record_apply = self._on_apply  # type: ignore[method-assign]
         for replica in deployment.replicas.values():
             replica._on_apply = deployment._record_apply
+        # Late-attach replay: applies recorded before this client existed.
+        for replica_id, entries in deployment.applied.items():
+            for slot, value in entries:
+                self._note_history(replica_id, slot, value)
 
     # ------------------------------------------------------------------
-    def submit(self, command: Value) -> RequestRecord:
-        """Broadcast ``command`` to every replica."""
-        if command in self._requests:
-            raise ValueError(f"duplicate command {command!r}")
+    def submit(
+        self, payload: Value, seq: Optional[int] = None
+    ) -> Optional[RequestRecord]:
+        """Submit ``payload`` as this client's next request.
+
+        Broadcasts the enveloped request to every replica and returns its
+        :class:`RequestRecord`, or ``None`` when the deployment refused it
+        (backpressure: replica queues full) — nothing was queued and no
+        sequence number was consumed; retry later.
+
+        ``seq`` pins an explicit sequence number (re-attachment /
+        resubmission); if the deployment already ordered that request on
+        ``f + 1`` replicas while this client was away, the record completes
+        immediately from history with ``recovered=True`` and zero latency,
+        without submitting anything.
+        """
+        if seq is None:
+            seq = self._next_seq
+        request_id = (self.client_id, seq)
+        if request_id in self._requests:
+            raise ValueError(
+                f"request id {request_id} already submitted by this client"
+            )
+        now = self._deployment.sim.now
         record = RequestRecord(
-            command=command, submitted_at=self._deployment.sim.now
+            client_id=self.client_id,
+            seq=seq,
+            payload=payload,
+            command=encode_request(self.client_id, seq, payload),
+            submitted_at=now,
         )
-        self._requests[command] = record
-        self._deployment.submit_to_all(command)
+        history = self._history.get(request_id)
+        if history is not None and len(history) >= self._ack_threshold:
+            # Ordered while we were away; complete from replayed history.
+            record.acked_by = set(history)
+            record.slot = next(iter(history.values()))
+            record.completed_at = now
+            record.recovered = True
+        else:
+            if not self._deployment.submit_to_all(record.command):
+                return None
+            if history is not None:
+                record.acked_by = set(history)
+                record.slot = next(iter(history.values()))
+        self._requests[request_id] = record
+        self._order.append(request_id)
+        self._next_seq = max(self._next_seq, seq + 1)
+        if record.completed and self.on_complete is not None:
+            self.on_complete(record)
         return record
+
+    def _note_history(self, replica: ReplicaId, slot: int, value: Value) -> None:
+        for command in commands_in(value):
+            decoded = decode_request(command)
+            if decoded is None:
+                continue
+            client_id, seq, _payload = decoded
+            self._history.setdefault((client_id, seq), {})[replica] = slot
 
     def _on_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
         self._previous_recorder(replica, slot, value)
-        record = self._requests.get(value)
-        if record is None or record.completed:
-            return
-        record.acked_by.add(replica)
-        record.slot = slot
-        if len(record.acked_by) >= self._ack_threshold:
-            record.completed_at = self._deployment.sim.now
+        self._note_history(replica, slot, value)
+        for command in commands_in(value):
+            decoded = decode_request(command)
+            if decoded is None:
+                continue
+            record = self._requests.get((decoded[0], decoded[1]))
+            if record is None or record.completed:
+                continue
+            record.acked_by.add(replica)
+            record.slot = slot
+            if len(record.acked_by) >= self._ack_threshold:
+                record.completed_at = self._deployment.sim.now
+                if self.on_complete is not None:
+                    self.on_complete(record)
 
     # ------------------------------------------------------------------
     @property
     def requests(self) -> List[RequestRecord]:
-        return list(self._requests.values())
+        return [self._requests[rid] for rid in self._order]
+
+    def request(self, seq: int) -> Optional[RequestRecord]:
+        return self._requests.get((self.client_id, seq))
 
     def completed_requests(self) -> List[RequestRecord]:
-        return [r for r in self._requests.values() if r.completed]
+        return [r for r in self.requests if r.completed]
+
+    def incomplete_requests(self) -> List[RequestRecord]:
+        """Requests still unordered — after a run, these timed out."""
+        return [r for r in self.requests if not r.completed]
+
+    @property
+    def timed_out(self) -> int:
+        """Count of submitted requests that never completed."""
+        return len(self.incomplete_requests())
 
     def all_completed(self) -> bool:
         return all(r.completed for r in self._requests.values())
 
-    def mean_latency(self) -> float:
-        done = self.completed_requests()
+    # ------------------------------------------------------------------
+    def latencies(self) -> List[float]:
+        """Per-request latencies of completed requests, submission order."""
+        return [r.latency for r in self.requests if r.completed]
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean end-to-end latency, or ``None`` if nothing completed.
+
+        ``None`` — not NaN — so report columns show an explicit gap
+        alongside the ``timed_out`` count instead of silently propagating
+        NaN through downstream arithmetic.
+        """
+        done = self.latencies()
         if not done:
-            return float("nan")
-        return sum(r.latency for r in done) / len(done)
+            return None
+        return sum(done) / len(done)
+
+    def latency_percentile(self, q: float) -> Optional[float]:
+        return percentile(self.latencies(), q)
+
+    def p50_latency(self) -> Optional[float]:
+        return self.latency_percentile(50)
+
+    def p99_latency(self) -> Optional[float]:
+        return self.latency_percentile(99)
+
+    def latency_summary(self) -> dict:
+        """JSON-ready latency/completion summary (explicit ``None`` gaps)."""
+        acc = LatencyAccumulator()
+        for record in self.requests:
+            acc.add(record.latency)
+        return acc.summary()

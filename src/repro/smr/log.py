@@ -3,14 +3,22 @@
 Slot decisions may arrive out of order (a replica can decide slot 3 before
 slot 2 if it lagged); the log buffers them and applies to the state machine
 strictly in slot order, which preserves determinism across replicas.
+
+A slot value may be a **batch** (see :mod:`repro.smr.encoding`): its
+commands are applied element-wise, in batch order, still strictly within
+the slot order.  Commands wrapped in request envelopes are unwrapped before
+the state machine sees them — the application applies payloads, while the
+log (and therefore every consistency check and apply notification) keeps
+the full identified value.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..types import Value
 from .app import StateMachine
+from .encoding import commands_in, request_payload
 
 
 class DecisionLog:
@@ -19,7 +27,7 @@ class DecisionLog:
     def __init__(self, app: StateMachine) -> None:
         self._app = app
         self._decided: Dict[int, Value] = {}
-        self._results: Dict[int, Value] = {}
+        self._results: Dict[int, Tuple[Value, ...]] = {}
         self._applied_up_to = 0  # highest contiguously applied slot
 
     @property
@@ -36,8 +44,24 @@ class DecisionLog:
     def value_of(self, slot: int) -> Optional[Value]:
         return self._decided.get(slot)
 
+    def commands_of(self, slot: int) -> Tuple[Value, ...]:
+        """The (possibly batched) commands ``slot`` ordered; empty if undecided."""
+        value = self._decided.get(slot)
+        if value is None:
+            return ()
+        return tuple(commands_in(value))
+
     def result_of(self, slot: int) -> Optional[Value]:
-        """Application result for ``slot`` (None until applied)."""
+        """Application result for ``slot`` (None until applied).
+
+        For a batched slot this is the *last* command's result; use
+        :meth:`results_of` for the full per-command tuple.
+        """
+        results = self._results.get(slot)
+        return results[-1] if results else None
+
+    def results_of(self, slot: int) -> Optional[Tuple[Value, ...]]:
+        """Per-command application results for ``slot`` (None until applied)."""
         return self._results.get(slot)
 
     def record(self, slot: int, value: Value) -> List[int]:
@@ -60,7 +84,10 @@ class DecisionLog:
         applied = []
         while self._applied_up_to + 1 in self._decided:
             nxt = self._applied_up_to + 1
-            self._results[nxt] = self._app.apply(self._decided[nxt])
+            self._results[nxt] = tuple(
+                self._app.apply(request_payload(command))
+                for command in commands_in(self._decided[nxt])
+            )
             self._applied_up_to = nxt
             applied.append(nxt)
         return applied

@@ -7,20 +7,28 @@ slot instance runs with ``seed_domain = "slot-k"`` so its signed statements,
 VRF samples, and synchronizer wishes are useless in any other slot.
 
 Proposal values come from a local pending-command queue; a leader with an
-empty queue proposes :data:`~repro.smr.app.NOOP`.  Decided commands are
-applied strictly in slot order through :class:`~repro.smr.log.DecisionLog`.
+empty queue proposes :data:`~repro.smr.app.NOOP`.  With ``batch_size > 1``
+a proposal packs up to that many queued commands into one slot value
+(:func:`~repro.smr.encoding.encode_batch`) — leader-side aggregation, the
+lever that amortizes a full consensus instance over many client requests.
+Decided commands are applied strictly in slot order through
+:class:`~repro.smr.log.DecisionLog`, one apply notification per command
+(batches fan out element-wise).
 
 With ``pipeline > 1`` a replica keeps that many slots in flight at once —
 the latency of consecutive slots overlaps, trading memory and message burst
 for throughput (each slot remains an independent consensus instance, so
-safety is untouched).
+safety is untouched).  ``max_pending`` bounds the pending-command queue:
+once the backlog exceeds what the open slot window can drain, ``submit``
+reports backpressure instead of queueing unboundedly — closed-loop clients
+back off and retry.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from ..config import ProtocolConfig
 from ..core.replica import ProBFTReplica
@@ -30,6 +38,7 @@ from ..net.transport import Transport
 from ..sync.timeouts import TimeoutPolicy
 from ..types import Decision, ReplicaId, Value
 from .app import NOOP, StateMachine
+from .encoding import commands_in, encode_batch
 from .log import DecisionLog
 
 #: How many slots ahead of the last locally decided slot we are willing to
@@ -65,6 +74,12 @@ class _SlotTransport:
     @property
     def now(self) -> float:
         return self._base.now
+
+    @property
+    def disseminator(self):
+        """SMR deployments never attach a gossip service; behaviours that
+        gate extra traffic on a disseminator see the dense answer."""
+        return self._base.disseminator
 
     def send(self, dst: ReplicaId, message: object) -> None:
         self._base.send(dst, SlotEnvelope(slot=self._slot, inner=message))
@@ -103,6 +118,9 @@ class SMRReplica:
         timeout_policy: Optional[TimeoutPolicy] = None,
         on_apply: Optional[Callable[[ReplicaId, int, Value], None]] = None,
         pipeline: int = 1,
+        batch_size: int = 1,
+        max_pending: Optional[int] = None,
+        eager_slots: bool = True,
     ) -> None:
         if config.seed_domain:
             raise ValueError(
@@ -117,31 +135,73 @@ class SMRReplica:
         self._on_apply = on_apply
         if pipeline < 1:
             raise ValueError(f"pipeline must be >= 1, got {pipeline}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.num_slots = num_slots
         self.pipeline = pipeline
+        self.batch_size = batch_size
+        self.max_pending = max_pending
+        #: Eager mode (the default, the original behaviour) keeps ``pipeline``
+        #: slots open at all times, proposing NOOP when idle — right for
+        #: fixed-workload runs driven to ``all_applied``.  Demand-driven mode
+        #: (``eager_slots=False``, the serving setting) opens a slot only
+        #: when there are pending commands (or inbound traffic for it), so an
+        #: idle deployment burns no slots between client bursts.
+        self.eager_slots = eager_slots
         self.log = DecisionLog(app)
         self._pending: Deque[Value] = deque()
         self._slots: Dict[int, ProBFTReplica] = {}
         self._slot_values: Dict[int, Value] = {}
+        # Commands already ordered by some decided slot, maintained
+        # incrementally — the pre-batching code rebuilt this set from the
+        # whole log on every proposal, an O(slots²) hot path under load.
+        self._ordered: Set[Value] = set()
+        self._rejected_submits = 0
+        self._highest_opened = 0
+        self._open_undecided = 0
         self._started = False
 
     # ------------------------------------------------------------------
     # Client-facing API
     # ------------------------------------------------------------------
-    def submit(self, command: Value) -> None:
-        """Queue a command for ordering (call on any/every replica)."""
+    def submit(self, command: Value) -> bool:
+        """Queue a command for ordering (call on any/every replica).
+
+        Returns ``False`` — backpressure — when ``max_pending`` is set and
+        the pending queue is full; the command is *not* queued and the
+        caller should retry later.
+        """
+        if (
+            self.max_pending is not None
+            and len(self._pending) >= self.max_pending
+        ):
+            self._rejected_submits += 1
+            return False
         self._pending.append(command)
+        if self._started and not self.eager_slots:
+            self._open_window()
+        return True
 
     @property
     def pending_commands(self) -> int:
         return len(self._pending)
 
+    @property
+    def rejected_submits(self) -> int:
+        """Submissions refused by backpressure since construction."""
+        return self._rejected_submits
+
     def start(self) -> None:
         if self._started:
             return
         self._started = True
-        for slot in range(1, min(self.pipeline, self.num_slots) + 1):
-            self._ensure_slot(slot)
+        if self.eager_slots:
+            for slot in range(1, min(self.pipeline, self.num_slots) + 1):
+                self._ensure_slot(slot)
+        else:
+            self._open_window()
 
     def stop(self) -> None:
         for replica in self._slots.values():
@@ -154,7 +214,7 @@ class SMRReplica:
         if not isinstance(slot, int) or not 1 <= slot <= self.num_slots:
             return
         window = max(SLOT_WINDOW, self.pipeline + 1)
-        if slot > self.log.applied_up_to + window:
+        if slot not in self._slots and slot > self.log.applied_up_to + window:
             return  # too far ahead; the slot will be re-driven by view changes
         replica = self._ensure_slot(slot)
         if replica is not None:
@@ -181,35 +241,70 @@ class SMRReplica:
         )
         self._slots[slot] = replica
         self._slot_values[slot] = my_value
+        self._highest_opened = max(self._highest_opened, slot)
+        self._open_undecided += 1
         replica.start()
         return replica
+
+    def _open_window(self) -> None:
+        """Demand-driven slot opening: one new slot per pending batch, up to
+        ``pipeline`` concurrently open undecided slots."""
+        while (
+            self._pending
+            and self._open_undecided < self.pipeline
+            and self._highest_opened < self.num_slots
+        ):
+            self._ensure_slot(self._highest_opened + 1)
 
     def _next_proposal(self, slot: int) -> Value:
         """Pick this replica's proposal for ``slot``.
 
-        Skips commands already ordered in earlier slots; proposes NOOP when
-        the queue is empty.
+        Pops up to ``batch_size`` commands not already ordered in earlier
+        slots; proposes NOOP when the queue is empty.
         """
-        ordered = {self.log.value_of(s) for s in self.log.decided_slots()}
-        while self._pending and self._pending[0] in ordered:
-            self._pending.popleft()
-        if self._pending:
-            return self._pending.popleft()
-        return NOOP
+        batch: List[Value] = []
+        while self._pending and len(batch) < self.batch_size:
+            command = self._pending.popleft()
+            if command not in self._ordered:
+                batch.append(command)
+        if not batch:
+            return NOOP
+        return encode_batch(batch)
 
     def _on_slot_decided(self, slot: int, decision: Decision) -> None:
+        self._open_undecided -= 1
+        # Retire the instance: cancel its view timers so decided slots stop
+        # generating synchronizer traffic.  Without this a long-running
+        # serving deployment accumulates one live timer wheel per past slot
+        # and drowns in wish/view-change spam (observed: ~300k messages for
+        # 96 slots before this line existed).
+        instance = self._slots.get(slot)
+        if instance is not None:
+            instance.stop()
+        self._ordered.update(commands_in(decision.value))
         applied = self.log.record(slot, decision.value)
-        for s in applied:
-            if self._on_apply is not None:
-                self._on_apply(self.id, s, self.log.value_of(s))
-        # Requeue our proposal if a different value won the slot.
+        if self._on_apply is not None:
+            for s in applied:
+                for command in self.log.commands_of(s):
+                    self._on_apply(self.id, s, command)
+        # Requeue our proposal's unordered commands if another value won.
         mine = self._slot_values.get(slot)
         if mine is not None and mine != NOOP and mine != decision.value:
-            self._pending.appendleft(mine)
-        # Open the pipeline window past the highest decided slot.
-        top = min(self.num_slots, slot + self.pipeline)
-        for nxt in range(slot + 1, top + 1):
-            self._ensure_slot(nxt)
+            losers = [
+                c
+                for c in commands_in(mine)
+                if c != NOOP and c not in self._ordered
+            ]
+            for command in reversed(losers):
+                self._pending.appendleft(command)
+        # Open the next slots: eagerly past the decided slot (original
+        # behaviour), or only as far as pending demand reaches.
+        if self.eager_slots:
+            top = min(self.num_slots, slot + self.pipeline)
+            for nxt in range(slot + 1, top + 1):
+                self._ensure_slot(nxt)
+        else:
+            self._open_window()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -219,3 +314,70 @@ class SMRReplica:
 
     def slot_replica(self, slot: int) -> Optional[ProBFTReplica]:
         return self._slots.get(slot)
+
+
+class ByzantineSlotMultiplexer:
+    """Hosts a Byzantine behaviour in every slot of an SMR deployment.
+
+    The faulty twin of :class:`SMRReplica`: inbound :class:`SlotEnvelope`\\ s
+    route to per-slot endpoints built by ``slot_factory(slot, slot_config,
+    crypto, slot_transport)`` — any of the single-shot Byzantine replicas
+    from :mod:`repro.adversary` (equivocating leaders, flooders, ...) slots
+    in unchanged, attacking each consensus instance with slot-scoped keys
+    and transports.  Slots are instantiated on demand (plus the first
+    ``pipeline`` at start, mirroring honest replicas), bounded by
+    ``num_slots``.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        config: ProtocolConfig,
+        crypto: CryptoContext,
+        transport: Transport,
+        num_slots: int,
+        slot_factory: Callable[[int, ProtocolConfig, CryptoContext, object], object],
+        pipeline: int = 1,
+    ) -> None:
+        self.id = replica_id
+        self.config = config
+        self._crypto = crypto
+        self._transport = transport
+        self.num_slots = num_slots
+        self.pipeline = max(1, pipeline)
+        self._slot_factory = slot_factory
+        self._slots: Dict[int, object] = {}
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for slot in range(1, min(self.pipeline, self.num_slots) + 1):
+            self._ensure_slot(slot)
+
+    def on_message(self, src: ReplicaId, message: object) -> None:
+        if not isinstance(message, SlotEnvelope):
+            return
+        slot = message.slot
+        if not isinstance(slot, int) or not 1 <= slot <= self.num_slots:
+            return
+        endpoint = self._ensure_slot(slot)
+        if endpoint is not None:
+            endpoint.on_message(src, message.inner)
+
+    def _ensure_slot(self, slot: int):
+        if slot in self._slots:
+            return self._slots[slot]
+        if slot > self.num_slots:
+            return None
+        slot_config = self.config.with_params(seed_domain=f"slot-{slot}")
+        endpoint = self._slot_factory(
+            slot,
+            slot_config,
+            self._crypto,
+            _SlotTransport(self._transport, slot),
+        )
+        self._slots[slot] = endpoint
+        endpoint.start()
+        return endpoint

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..config import ProtocolConfig
 from ..crypto.context import CryptoContext
-from ..crypto.hashing import digest
+from ..crypto.hashing import digest, stable_encode
 from ..net.latency import ConstantLatency, LatencyModel
 from ..net.network import Network
 from ..net.simulator import Simulator
@@ -14,18 +23,36 @@ from ..net.transport import Transport
 from ..sync.timeouts import FixedTimeout, TimeoutPolicy
 from ..types import ReplicaId, Value
 from .app import StateMachine
-from .replica import SMRReplica
+from .replica import ByzantineSlotMultiplexer, SMRReplica
 
 AppFactory = Callable[[], StateMachine]
+
+#: Builds one slot's Byzantine endpoint for a faulty SMR member:
+#: ``factory(slot, slot_config, crypto, slot_transport) -> endpoint`` with
+#: ``start()`` / ``on_message(src, msg)`` — the per-slot twin of the
+#: deployment-level factories in :class:`~repro.core.protocol.
+#: ProBFTDeployment`, reusing the same adversary classes.
+SlotByzantineFactory = Callable[[int, ProtocolConfig, CryptoContext, object], object]
 
 
 class SMRDeployment:
     """A replicated state machine over ``n`` SMR replicas.
 
-    The workload is a list of client commands; each command is submitted to
-    every replica (simulating a client that broadcasts its request, the
-    standard BFT client behaviour), then the deployment runs until every
-    correct replica has applied ``num_slots`` slots.
+    The workload is client commands submitted to every replica (simulating
+    clients that broadcast their requests, the standard BFT client
+    behaviour); the deployment runs until every correct replica has applied
+    ``num_slots`` slots (or a time/event bound is hit).
+
+    Faulty members come in two flavours: ids listed in ``byzantine_ids``
+    are silently absent (crash-faulty from the protocol's point of view),
+    while ``byzantine_factories`` maps ids to *active* per-slot behaviours
+    (equivocating leaders, flooders — see :data:`SlotByzantineFactory`)
+    hosted by a :class:`~repro.smr.replica.ByzantineSlotMultiplexer`.
+    Together they must not exceed ``f``.
+
+    ``batch_size`` / ``pipeline`` / ``max_pending`` are the serving hot-path
+    knobs: commands per slot, concurrent slots in flight, and the pending
+    backlog bound past which :meth:`submit_to_all` reports backpressure.
     """
 
     def __init__(
@@ -37,7 +64,11 @@ class SMRDeployment:
         latency: Optional[LatencyModel] = None,
         timeout_policy: Optional[TimeoutPolicy] = None,
         byzantine_ids: Sequence[ReplicaId] = (),
+        byzantine_factories: Optional[Mapping[ReplicaId, SlotByzantineFactory]] = None,
         pipeline: int = 1,
+        batch_size: int = 1,
+        max_pending: Optional[int] = None,
+        eager_slots: bool = True,
     ) -> None:
         self.config = config
         self.num_slots = num_slots
@@ -51,14 +82,23 @@ class SMRDeployment:
             config.n, master_seed=digest("smr-deployment", seed)
         )
         self.applied: Dict[ReplicaId, List[Tuple[int, Value]]] = {}
-        if len(byzantine_ids) > config.f:
+        byzantine_factories = dict(byzantine_factories or {})
+        overlap = set(byzantine_ids) & set(byzantine_factories)
+        if overlap:
+            raise ValueError(
+                f"replicas {sorted(overlap)} listed both silent and active"
+            )
+        faulty = set(byzantine_ids) | set(byzantine_factories)
+        if len(faulty) > config.f:
             raise ValueError("too many Byzantine replicas")
-        self.byzantine_ids: FrozenSet[ReplicaId] = frozenset(byzantine_ids)
+        self.byzantine_ids: FrozenSet[ReplicaId] = frozenset(faulty)
+        self._next_client_id = 0
 
         self.replicas: Dict[ReplicaId, SMRReplica] = {}
+        self.byzantine_endpoints: Dict[ReplicaId, ByzantineSlotMultiplexer] = {}
         for r in range(config.n):
             if r in self.byzantine_ids:
-                continue  # Byzantine SMR members are simply absent (silent)
+                continue
             transport = Transport(self.network, r)
             replica = SMRReplica(
                 replica_id=r,
@@ -70,21 +110,61 @@ class SMRDeployment:
                 timeout_policy=timeout_policy or FixedTimeout(30.0),
                 on_apply=self._record_apply,
                 pipeline=pipeline,
+                batch_size=batch_size,
+                max_pending=max_pending,
+                eager_slots=eager_slots,
             )
             self.network.register(r, replica.on_message)
             self.replicas[r] = replica
         for r in self.byzantine_ids:
-            self.network.register(r, lambda _src, _msg: None)
+            factory = byzantine_factories.get(r)
+            if factory is None:
+                # Silent faulty member: registered but inert.
+                self.network.register(r, lambda _src, _msg: None)
+                continue
+            endpoint = ByzantineSlotMultiplexer(
+                replica_id=r,
+                config=config,
+                crypto=self.crypto,
+                transport=Transport(self.network, r),
+                num_slots=num_slots,
+                slot_factory=factory,
+                pipeline=pipeline,
+            )
+            self.network.register(r, endpoint.on_message)
+            self.byzantine_endpoints[r] = endpoint
         self._started = False
 
     def _record_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
         self.applied.setdefault(replica, []).append((slot, value))
 
     # ------------------------------------------------------------------
-    def submit_to_all(self, command: Value) -> None:
-        """A client broadcasts one command to every replica."""
+    def allocate_client_id(self) -> int:
+        """Hand out the next unused client id (deployment-scoped)."""
+        cid = self._next_client_id
+        self._next_client_id += 1
+        return cid
+
+    def submit_to_all(self, command: Value) -> bool:
+        """A client broadcasts one command to every replica.
+
+        Returns ``False`` — and submits to *no* replica — when any replica's
+        pending queue is full (``max_pending``).  All-or-nothing matters:
+        partial submission would leave replica queues divergent, so
+        backpressure rejects the request wholesale and the client retries.
+        """
+        if any(
+            replica.max_pending is not None
+            and replica.pending_commands >= replica.max_pending
+            for replica in self.replicas.values()
+        ):
+            for replica in self.replicas.values():
+                replica._rejected_submits += 1
+            return False
         for replica in self.replicas.values():
-            replica.submit(command)
+            accepted = replica.submit(command)
+            assert accepted, "per-replica submit cannot fail after the gate"
+        return True
 
     def start(self) -> None:
         if self._started:
@@ -92,6 +172,12 @@ class SMRDeployment:
         self._started = True
         for replica in self.replicas.values():
             replica.start()
+        for endpoint in self.byzantine_endpoints.values():
+            endpoint.start()
+
+    @property
+    def started(self) -> bool:
+        return self._started
 
     def run(
         self, max_time: Optional[float] = None, max_events: int = 20_000_000
@@ -113,18 +199,39 @@ class SMRDeployment:
         return all(r.decided_all() for r in self.replicas.values())
 
     def logs_consistent(self) -> bool:
-        """All correct replicas applied identical command sequences."""
-        sequences = {
+        """All correct replicas applied identical command *prefixes*.
+
+        Replicas stopped mid-run (a serving workload halts when its request
+        budget completes, not at ``all_applied``) may lag each other in how
+        far they have applied — that is liveness, not a safety violation.
+        The agreement property is that the applied sequences agree on their
+        common prefix; after a full run (equal lengths) this is the original
+        whole-log comparison.
+        """
+        logs = [
             tuple(
                 replica.log.value_of(s)
                 for s in range(1, replica.log.applied_up_to + 1)
             )
             for replica in self.replicas.values()
-        }
-        return len(sequences) <= 1
+        ]
+        if not logs:
+            return True
+        shortest = min(len(log) for log in logs)
+        return len({log[:shortest] for log in logs}) <= 1
 
     def snapshots(self) -> Dict[ReplicaId, object]:
         return {r: rep.log.app.snapshot() for r, rep in self.replicas.items()}
 
     def snapshots_consistent(self) -> bool:
-        return len(set(map(repr, self.snapshots().values()))) <= 1
+        """All correct replicas' app snapshots are semantically equal.
+
+        Compares canonical encodings (:func:`~repro.crypto.hashing.
+        stable_encode`), not ``repr`` — two equal snapshots that differ
+        only in container iteration order (dict insertion order, set
+        ordering) must compare equal.
+        """
+        encodings = {
+            stable_encode(snapshot) for snapshot in self.snapshots().values()
+        }
+        return len(encodings) <= 1

@@ -1,0 +1,549 @@
+"""Closed-loop client workloads against an SMR deployment.
+
+The serving question the paper's headline claim implies — is probabilistic
+consensus cheap enough to back a *request-serving system*? — needs a load
+generator, not hand-submitted commands.  :class:`WorkloadGenerator`
+simulates ``num_clients`` concurrent closed-loop clients:
+
+* each client has its own deterministic RNG (derived from the trial seed
+  via the canonical :func:`~repro.crypto.hashing.digest`), an exponential
+  think-time distribution, and an in-flight ``window``;
+* requests are uniquely identified ``(client_id, seq)`` envelopes
+  (:mod:`repro.smr.encoding`) broadcast through
+  :meth:`~repro.smr.service.SMRDeployment.submit_to_all`;
+* a request completes when ``f + 1`` replicas report applying it; the
+  completion event triggers the client's next think/submit cycle — the
+  closed loop;
+* deployment backpressure (full replica queues) is surfaced to the client,
+  which backs off one think time and retries — requests are never dropped
+  by the generator.
+
+Everything is driven by the deployment's simulator, so a (spec, seed) pair
+determines every per-request latency bit-for-bit, in any process, on any
+engine backend — the property the serving determinism tests pin.
+
+:func:`run_serving_trial` is the module-level, picklable trial function
+(:class:`ServingSpec` → :class:`ServingResult`) the CLI ``repro serve``
+command, the scenario cells (:data:`SERVING_ADVERSARIES` ×
+:data:`LOAD_LEVELS`), and ``benchmarks/bench_smr_serving.py`` all share.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import ProtocolConfig
+from ..crypto.hashing import digest
+from ..harness.metrics import LatencyAccumulator
+from ..net.latency import ConstantLatency
+from ..sync.timeouts import FixedTimeout
+from ..types import ReplicaId, Value
+from .app import CounterApp
+from .client import RequestRecord
+from .encoding import commands_in, decode_request, encode_request
+from .service import SMRDeployment
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "ServingSpec",
+    "ServingResult",
+    "run_serving_trial",
+    "run_serving_trial_spec",
+    "serving_cells",
+    "serving_trials",
+    "SERVING_ADVERSARIES",
+    "LOAD_LEVELS",
+]
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a closed-loop client population.
+
+    ``think_time`` is the mean of each client's exponential think-time
+    distribution (0 disables thinking: the client resubmits the instant a
+    request completes).  ``window`` is the per-client in-flight cap — a
+    client keeps up to ``window`` requests outstanding.  ``retry_backoff``
+    is the delay before retrying a submission the deployment refused
+    (backpressure); ``None`` means one think-time sample.
+    """
+
+    num_clients: int = 16
+    requests_per_client: int = 4
+    think_time: float = 4.0
+    window: int = 1
+    retry_backoff: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {self.num_clients}")
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be >= 1, got {self.requests_per_client}"
+            )
+        if self.think_time < 0:
+            raise ValueError(f"think_time must be >= 0, got {self.think_time}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    @property
+    def total_requests(self) -> int:
+        return self.num_clients * self.requests_per_client
+
+
+@dataclass
+class _ClientState:
+    """One simulated closed-loop client."""
+
+    client_id: int
+    rng: random.Random
+    next_seq: int = 1
+    issued: int = 0
+
+
+class WorkloadGenerator:
+    """Drives a closed-loop client population against a deployment.
+
+    Construct against a (not yet run) deployment, then :meth:`run`.  Uses
+    one shared apply hook for the whole population — a per-client
+    :class:`~repro.smr.client.SMRClient` chain would walk thousands of
+    handlers per apply event — but tracks each request with the same
+    :class:`~repro.smr.client.RequestRecord` lifecycle.
+    """
+
+    def __init__(
+        self,
+        deployment: SMRDeployment,
+        spec: WorkloadSpec,
+        seed: int = 0,
+    ) -> None:
+        self._deployment = deployment
+        self.spec = spec
+        self.seed = seed
+        self._ack_threshold = deployment.config.f + 1
+        self._records: Dict[Tuple[int, int], RequestRecord] = {}
+        self._order: List[Tuple[int, int]] = []
+        self._completed = 0
+        self._retries = 0
+        self._clients = [
+            _ClientState(
+                client_id=deployment.allocate_client_id(),
+                rng=random.Random(
+                    int.from_bytes(digest("smr-workload", seed, i), "big")
+                ),
+            )
+            for i in range(spec.num_clients)
+        ]
+        self._by_id = {client.client_id: client for client in self._clients}
+        # Chain onto the deployment's apply recorder (same seam as SMRClient).
+        self._previous_recorder = deployment._record_apply
+        deployment._record_apply = self._on_apply  # type: ignore[method-assign]
+        for replica in deployment.replicas.values():
+            replica._on_apply = deployment._record_apply
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def payload_for(self, client_id: int, seq: int) -> Value:
+        """Deterministic CounterApp command for one request."""
+        return f"ADD:{1 + (client_id + seq) % 9}".encode()
+
+    def _think(self, client: _ClientState) -> float:
+        if self.spec.think_time <= 0:
+            return 0.0
+        return client.rng.expovariate(1.0 / self.spec.think_time)
+
+    def start(self) -> None:
+        """Schedule every client's initial window of submissions."""
+        if self._started:
+            return
+        self._started = True
+        for client in self._clients:
+            first = min(self.spec.window, self.spec.requests_per_client)
+            for _ in range(first):
+                self._schedule_issue(client, self._think(client))
+
+    def _schedule_issue(self, client: _ClientState, delay: float) -> None:
+        self._deployment.sim.schedule(delay, lambda: self._issue(client))
+
+    def _issue(self, client: _ClientState) -> None:
+        if client.issued >= self.spec.requests_per_client:
+            return
+        seq = client.next_seq
+        payload = self.payload_for(client.client_id, seq)
+        command = encode_request(client.client_id, seq, payload)
+        if not self._deployment.submit_to_all(command):
+            # Backpressure: the deployment refused wholesale; back off.  A
+            # zero think time falls back to one simulated time unit —
+            # otherwise a zero-delay retry loop would spin the scheduler
+            # through millions of events before the queues can drain.
+            self._retries += 1
+            backoff = (
+                self.spec.retry_backoff
+                if self.spec.retry_backoff is not None
+                else (self._think(client) or 1.0)
+            )
+            self._schedule_issue(client, max(backoff, 1e-9))
+            return
+        client.next_seq += 1
+        client.issued += 1
+        record = RequestRecord(
+            client_id=client.client_id,
+            seq=seq,
+            payload=payload,
+            command=command,
+            submitted_at=self._deployment.sim.now,
+        )
+        self._records[(client.client_id, seq)] = record
+        self._order.append((client.client_id, seq))
+
+    def _on_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
+        self._previous_recorder(replica, slot, value)
+        for command in commands_in(value):
+            decoded = decode_request(command)
+            if decoded is None:
+                continue
+            record = self._records.get((decoded[0], decoded[1]))
+            if record is None or record.completed:
+                continue
+            record.acked_by.add(replica)
+            record.slot = slot
+            if len(record.acked_by) >= self._ack_threshold:
+                record.completed_at = self._deployment.sim.now
+                self._completed += 1
+                self._on_request_complete(record)
+
+    def _on_request_complete(self, record: RequestRecord) -> None:
+        client = self._by_id[record.client_id]
+        if client.issued < self.spec.requests_per_client:
+            self._schedule_issue(client, self._think(client))
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """All budgeted requests issued and completed."""
+        return self._completed >= self.spec.total_requests
+
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_events: int = 20_000_000,
+    ) -> "WorkloadGenerator":
+        self._deployment.start()
+        self.start()
+        self._deployment.sim.run(
+            until=max_time, max_events=max_events, stop_when=self.done
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[RequestRecord]:
+        return [self._records[rid] for rid in self._order]
+
+    @property
+    def issued(self) -> int:
+        return len(self._order)
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def retries(self) -> int:
+        """Submissions refused by backpressure and rescheduled."""
+        return self._retries
+
+    def latencies(self) -> List[float]:
+        """Completed per-request latencies, submission order."""
+        return [r.latency for r in self.records if r.completed]
+
+    def latency_accumulator(self) -> LatencyAccumulator:
+        acc = LatencyAccumulator()
+        for record in self.records:
+            acc.add(record.latency)
+        # Requests the closed loop never got to issue (their predecessor
+        # timed out) still count against completion accounting.
+        acc.incomplete += self.spec.total_requests - self.issued
+        return acc
+
+
+# ----------------------------------------------------------------------
+# Serving trials: adversaries × load levels
+# ----------------------------------------------------------------------
+def _equivocating_slot_factory(slot, config, crypto, transport):
+    from ..adversary.equivocation import EquivocatingLeader, optimal_split
+
+    return EquivocatingLeader(
+        replica_id=0,
+        config=config,
+        crypto=crypto,
+        transport=transport,
+        strategy=optimal_split(
+            config.n,
+            (0,),
+            f"evil-{slot}-a".encode(),
+            f"evil-{slot}-b".encode(),
+        ),
+    )
+
+
+def _flooding_slot_factory(slot, config, crypto, transport):
+    from ..adversary.flooding import FloodingReplica
+
+    return FloodingReplica(
+        replica_id=1,
+        config=config,
+        crypto=crypto,
+        transport=transport,
+        burst=2,
+    )
+
+
+#: Serving-cell adversaries: name → (replica_id, per-slot factory).  The
+#: equivocating leader must be replica 0 — the view-1 leader of every slot
+#: — while the flooder works from any non-leader seat.
+SERVING_ADVERSARIES: Dict[str, Optional[Tuple[ReplicaId, Callable]]] = {
+    "none": None,
+    "equivocating-leader": (0, _equivocating_slot_factory),
+    "flooding": (1, _flooding_slot_factory),
+}
+
+#: Load-level presets for the serving matrix.
+LOAD_LEVELS: Dict[str, Dict[str, object]] = {
+    "low": {
+        "num_clients": 12,
+        "requests_per_client": 4,
+        "think_time": 8.0,
+        "window": 1,
+    },
+    "high": {
+        "num_clients": 48,
+        "requests_per_client": 5,
+        "think_time": 1.0,
+        "window": 2,
+    },
+}
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """One serving trial, as declarative (picklable) data.
+
+    The serving twin of :class:`~repro.harness.trial.DeploymentSpec`:
+    everything :func:`run_serving_trial` needs to rebuild the deployment,
+    the adversary, and the client population from scratch in any process.
+
+    The default ``n = 9`` is the smallest deployment where probabilistic
+    quorums stay attainable with a faulty member: ``q = ⌈2√n⌉ = 6 ≤ n − f =
+    7``.  At ``n = 4`` the quorum needs all four replicas, so any Byzantine
+    seat (equivocating, flooding — both are absent from honest vote counts)
+    makes every slot unattainable and the serving cells starve.
+    """
+
+    n: int = 9
+    f: Optional[int] = None
+    adversary: str = "none"
+    load: str = "high"
+    num_clients: Optional[int] = None
+    requests_per_client: Optional[int] = None
+    think_time: Optional[float] = None
+    window: Optional[int] = None
+    retry_backoff: Optional[float] = None
+    batch_size: int = 8
+    pipeline: int = 4
+    max_pending: Optional[int] = 64
+    num_slots: Optional[int] = None
+    seed: int = 0
+    latency: float = 1.0
+    timeout: float = 10.0
+    max_time: float = 20_000.0
+    max_events: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.adversary not in SERVING_ADVERSARIES:
+            raise ValueError(
+                f"unknown adversary {self.adversary!r}; known: "
+                f"{', '.join(sorted(SERVING_ADVERSARIES))}"
+            )
+        if self.load not in LOAD_LEVELS:
+            raise ValueError(
+                f"unknown load level {self.load!r}; known: "
+                f"{', '.join(sorted(LOAD_LEVELS))}"
+            )
+
+    def workload(self) -> WorkloadSpec:
+        """The workload, load-level presets overridden by explicit fields."""
+        preset = dict(LOAD_LEVELS[self.load])
+        for name in (
+            "num_clients",
+            "requests_per_client",
+            "think_time",
+            "window",
+            "retry_backoff",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                preset[name] = value
+        return WorkloadSpec(**preset)  # type: ignore[arg-type]
+
+    def slots(self) -> int:
+        """Slot budget: headroom for requeues and adversary-burned slots."""
+        if self.num_slots is not None:
+            return self.num_slots
+        total = self.workload().total_requests
+        return total + 4 * self.pipeline + 16
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Summary of one serving trial (picklable, JSON-ready via ``row()``)."""
+
+    adversary: str
+    load: str
+    n: int
+    f: int
+    batch_size: int
+    pipeline: int
+    seed: int
+    issued: int
+    completed: int
+    timed_out: int
+    retries: int
+    throughput: float
+    mean_latency: Optional[float]
+    p50_latency: Optional[float]
+    p99_latency: Optional[float]
+    p999_latency: Optional[float]
+    sim_time: float
+    slots_applied: int
+    logs_consistent: bool
+    #: Completed per-request latencies in submission order — the golden
+    #: determinism witness (bit-identical for equal (spec, seed) anywhere).
+    latencies: Tuple[float, ...] = field(default=(), repr=False)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for report tables and the committed bench JSON."""
+        return {
+            "adversary": self.adversary,
+            "load": self.load,
+            "n": self.n,
+            "f": self.f,
+            "batch_size": self.batch_size,
+            "pipeline": self.pipeline,
+            "seed": self.seed,
+            "issued": self.issued,
+            "completed": self.completed,
+            "timed_out": self.timed_out,
+            "retries": self.retries,
+            "throughput": self.throughput,
+            "mean_latency": self.mean_latency,
+            "p50_latency": self.p50_latency,
+            "p99_latency": self.p99_latency,
+            "p999_latency": self.p999_latency,
+            "sim_time": self.sim_time,
+            "slots_applied": self.slots_applied,
+            "logs_consistent": self.logs_consistent,
+        }
+
+
+def build_serving_deployment(spec: ServingSpec) -> SMRDeployment:
+    """Construct (without running) the deployment a spec describes."""
+    config = ProtocolConfig(n=spec.n, f=spec.f)
+    adversary = SERVING_ADVERSARIES[spec.adversary]
+    factories = {}
+    if adversary is not None:
+        replica_id, factory = adversary
+        factories[replica_id] = factory
+    return SMRDeployment(
+        config,
+        CounterApp,
+        num_slots=spec.slots(),
+        seed=spec.seed,
+        latency=ConstantLatency(spec.latency),
+        timeout_policy=FixedTimeout(spec.timeout),
+        byzantine_factories=factories,
+        pipeline=spec.pipeline,
+        batch_size=spec.batch_size,
+        max_pending=spec.max_pending,
+        eager_slots=False,
+    )
+
+
+def run_serving_trial(spec: ServingSpec) -> ServingResult:
+    """Build, load, and summarize one serving trial (picklable entry point)."""
+    deployment = build_serving_deployment(spec)
+    generator = WorkloadGenerator(deployment, spec.workload(), seed=spec.seed)
+    generator.run(max_time=spec.max_time, max_events=spec.max_events)
+    acc = generator.latency_accumulator()
+    latencies = generator.latencies()
+    # Throughput over the span that actually served requests: trailing
+    # timeout noise after the last completion is idle time, not service.
+    last_completion = max(
+        (r.completed_at for r in generator.records if r.completed), default=0.0
+    )
+    throughput = (
+        generator.completed / last_completion if last_completion > 0 else 0.0
+    )
+    return ServingResult(
+        adversary=spec.adversary,
+        load=spec.load,
+        n=deployment.config.n,
+        f=deployment.config.f,
+        batch_size=spec.batch_size,
+        pipeline=spec.pipeline,
+        seed=spec.seed,
+        issued=generator.issued,
+        completed=generator.completed,
+        timed_out=acc.incomplete,
+        retries=generator.retries,
+        throughput=throughput,
+        mean_latency=acc.mean,
+        p50_latency=acc.p50,
+        p99_latency=acc.p99,
+        p999_latency=acc.p999,
+        sim_time=deployment.sim.now,
+        slots_applied=max(
+            (r.log.applied_up_to for r in deployment.replicas.values()),
+            default=0,
+        ),
+        logs_consistent=deployment.logs_consistent(),
+        latencies=tuple(latencies),
+    )
+
+
+def serving_cells(
+    adversaries: Optional[List[str]] = None,
+    loads: Optional[List[str]] = None,
+    **overrides,
+) -> List[ServingSpec]:
+    """The serving scenario matrix: adversaries × load levels."""
+    adversaries = (
+        list(SERVING_ADVERSARIES) if adversaries is None else adversaries
+    )
+    loads = list(LOAD_LEVELS) if loads is None else loads
+    return [
+        ServingSpec(adversary=adversary, load=load, **overrides)
+        for adversary in adversaries
+        for load in loads
+    ]
+
+
+def serving_trials(specs: List[ServingSpec]) -> List["TrialSpec"]:
+    """Wrap serving specs in the harness :class:`TrialSpec` protocol so
+    they can ride :meth:`ExperimentEngine.map` across any backend."""
+    from ..harness.parallel import TrialSpec
+
+    return [
+        TrialSpec(index=i, seed=spec.seed, params=spec)
+        for i, spec in enumerate(specs)
+    ]
+
+
+def run_serving_trial_spec(trial) -> ServingResult:
+    """Picklable :class:`TrialSpec` entry point for the experiment engine."""
+    return run_serving_trial(trial.params)

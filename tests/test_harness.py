@@ -6,8 +6,10 @@ import pytest
 
 from repro.config import ProtocolConfig
 from repro.harness.metrics import (
+    LatencyAccumulator,
     ProportionEstimate,
     mean,
+    percentile,
     stddev,
     wilson_interval,
 )
@@ -68,6 +70,56 @@ class TestMetrics:
         assert est.compatible_with(0.9)
         assert not est.compatible_with(0.2)
         assert "0.9" in str(est)
+
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentile_order_insensitive(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_percentile_empty_is_none(self):
+        """Regression companion to the mean-latency NaN fix: no data is an
+        explicit None, never NaN."""
+        assert percentile([], 50) is None
+
+    def test_percentile_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_latency_accumulator(self):
+        acc = LatencyAccumulator()
+        acc.extend([3.0, 1.0, 2.0])
+        acc.add(None)  # an incomplete request
+        assert acc.completed == 3
+        assert acc.total == 4
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.p50 == 2.0
+        summary = acc.summary()
+        assert summary["completed"] == 3
+        assert summary["incomplete"] == 1
+        assert summary["p99_latency"] == acc.p99
+
+    def test_latency_accumulator_empty(self):
+        acc = LatencyAccumulator()
+        assert acc.mean is None
+        assert acc.p50 is None and acc.p99 is None and acc.p999 is None
+        assert acc.summary()["mean_latency"] is None
+
+    def test_latency_accumulator_merge(self):
+        left, right = LatencyAccumulator(), LatencyAccumulator()
+        left.extend([1.0, 2.0])
+        right.extend([3.0])
+        right.add(None)
+        left.merge(right)
+        assert left.completed == 3
+        assert left.incomplete == 1
+        assert left.mean == pytest.approx(2.0)
 
 
 class TestRunners:

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.config import ProtocolConfig
-from repro.smr.app import NOOP, CounterApp, KeyValueApp
+from repro.smr.app import NOOP, CounterApp, KeyValueApp, StateMachine
+from repro.smr.encoding import (
+    commands_in,
+    decode_batch,
+    decode_request,
+    encode_batch,
+    encode_request,
+    request_payload,
+)
 from repro.smr.log import DecisionLog
 from repro.smr.service import SMRDeployment
 
@@ -86,6 +94,91 @@ class TestDecisionLog:
         log = DecisionLog(CounterApp())
         with pytest.raises(ValueError):
             log.record(0, b"INC")
+
+
+class TestEncoding:
+    def test_request_roundtrip(self):
+        value = encode_request(12, 345, b"ADD:7")
+        assert decode_request(value) == (12, 345, b"ADD:7")
+        assert request_payload(value) == b"ADD:7"
+
+    def test_bare_commands_pass_through(self):
+        assert decode_request(b"INC") is None
+        assert request_payload(b"INC") == b"INC"
+        assert decode_request(NOOP) is None
+        assert commands_in(b"INC") == [b"INC"]
+
+    def test_equal_payloads_distinct_requests(self):
+        a = encode_request(1, 1, b"INC")
+        b = encode_request(2, 1, b"INC")
+        c = encode_request(1, 2, b"INC")
+        assert len({a, b, c}) == 3
+        assert request_payload(a) == request_payload(b) == b"INC"
+
+    def test_batch_roundtrip(self):
+        commands = [b"INC", encode_request(3, 9, b"DEC"), b"ADD:5"]
+        batch = encode_batch(commands)
+        assert decode_batch(batch) == commands
+        assert commands_in(batch) == commands
+
+    def test_single_command_batch_is_bare(self):
+        # Keeps logs identical whether batching is on or off when a slot
+        # happens to order exactly one command.
+        assert encode_batch([b"INC"]) == b"INC"
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_batch([])
+
+    def test_malformed_frames_degrade_to_opaque(self):
+        from repro.smr.encoding import BATCH_PREFIX, REQUEST_PREFIX
+
+        assert decode_request(REQUEST_PREFIX + b"\xff") is None
+        assert decode_batch(BATCH_PREFIX + b"\x01\x05") is None
+        # Trailing garbage after a well-formed batch is rejected too.
+        batch = encode_batch([b"a", b"b"])
+        assert decode_batch(batch + b"junk") is None
+        assert commands_in(batch + b"junk") == [batch + b"junk"]
+
+    def test_large_ids(self):
+        value = encode_request(2**40, 2**33, b"x")
+        assert decode_request(value) == (2**40, 2**33, b"x")
+
+
+class _ScrambledKV(KeyValueApp):
+    """KeyValueApp whose snapshot is an insertion-ordered dict — equal
+    contents, different iteration order (and therefore different repr)."""
+
+    def __init__(self, items):
+        super().__init__()
+        self._seed_items = items
+        for k, v in items:
+            self.apply(b"SET " + k + b" " + v)
+
+    def snapshot(self):
+        return {k: v for k, v in self._seed_items}
+
+
+class TestSnapshotComparison:
+    def test_order_scrambled_snapshots_compare_equal(self):
+        """Regression: repr-based comparison false-negatived on equal dicts
+        with different insertion order; stable_encode does not."""
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(cfg, KeyValueApp, num_slots=1, seed=9)
+        items = [(b"a", b"1"), (b"b", b"2"), (b"c", b"3")]
+        for r in dep.replicas:
+            ordering = items if r % 2 == 0 else list(reversed(items))
+            dep.replicas[r].log._app = _ScrambledKV(ordering)
+        snapshots = dep.snapshots()
+        assert repr(snapshots[0]) != repr(snapshots[1])  # the old trap
+        assert dep.snapshots_consistent()
+
+    def test_genuinely_different_snapshots_detected(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(cfg, KeyValueApp, num_slots=1, seed=9)
+        dep.replicas[0].log._app = _ScrambledKV([(b"a", b"1")])
+        dep.replicas[1].log._app = _ScrambledKV([(b"a", b"2")])
+        assert not dep.snapshots_consistent()
 
 
 class TestSMRIntegration:
@@ -226,3 +319,118 @@ class TestPipelining:
         dep.run(max_time=50_000)
         assert dep.all_applied()
         assert dep.logs_consistent()
+
+
+class TestBatching:
+    def commands(self, count=6):
+        return [b"ADD:%d" % (i + 1) for i in range(count)]
+
+    def test_batched_run_orders_all_commands(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(
+            cfg, CounterApp, num_slots=3, seed=4, batch_size=4
+        )
+        for cmd in self.commands(8):
+            dep.submit_to_all(cmd)
+        dep.run(max_time=20_000)
+        assert dep.all_applied()
+        assert dep.logs_consistent() and dep.snapshots_consistent()
+        assert list(dep.snapshots().values())[0] == sum(range(1, 9))
+
+    def test_batched_commands_match_unbatched(self):
+        """Batching changes slot packing, never the applied command stream:
+        the flattened per-command sequence (and final state) is the same
+        multiset on a small deployment whether batching is on or off."""
+        cfg = ProtocolConfig(n=7, f=2)
+        states, streams = [], []
+        for batch_size, slots in ((1, 8), (4, 3)):
+            dep = SMRDeployment(
+                cfg, CounterApp, num_slots=slots, seed=5, batch_size=batch_size
+            )
+            for cmd in self.commands(6):
+                dep.submit_to_all(cmd)
+            dep.run(max_time=20_000)
+            assert dep.all_applied()
+            replica = dep.replicas[0]
+            flattened = [
+                cmd
+                for s in range(1, slots + 1)
+                for cmd in replica.log.commands_of(s)
+                if cmd != NOOP
+            ]
+            streams.append(sorted(flattened))
+            states.append(list(dep.snapshots().values())[0])
+        assert streams[0] == streams[1]
+        assert states[0] == states[1]
+
+    def test_batch_applies_element_wise(self):
+        log = DecisionLog(CounterApp())
+        batch = encode_batch([b"INC", b"ADD:10", b"DEC"])
+        assert log.record(1, batch) == [1]
+        assert log.app.snapshot() == 10
+        assert log.commands_of(1) == (b"INC", b"ADD:10", b"DEC")
+        assert log.results_of(1) == (b"1", b"11", b"10")
+        assert log.result_of(1) == b"10"  # last command's result
+
+    def test_batch_strips_request_envelopes(self):
+        log = DecisionLog(CounterApp())
+        batch = encode_batch(
+            [encode_request(1, 1, b"INC"), encode_request(2, 1, b"ADD:4")]
+        )
+        log.record(1, batch)
+        assert log.app.snapshot() == 5
+
+    def test_invalid_batch_size_rejected(self):
+        from repro.smr.replica import SMRReplica
+
+        with pytest.raises(ValueError):
+            SMRReplica(
+                0,
+                ProtocolConfig(n=7, f=2),
+                None,
+                None,
+                CounterApp(),
+                num_slots=1,
+                batch_size=0,
+            )
+
+
+class TestBackpressure:
+    def test_submit_rejected_when_queue_full(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(
+            cfg, CounterApp, num_slots=2, seed=6, max_pending=2
+        )
+        assert dep.submit_to_all(b"ADD:1")
+        assert dep.submit_to_all(b"ADD:2")
+        assert not dep.submit_to_all(b"ADD:3")  # wholesale rejection
+        # Nothing was partially queued: every replica holds exactly 2.
+        assert {
+            r.pending_commands for r in dep.replicas.values()
+        } == {2}
+        assert all(r.rejected_submits == 1 for r in dep.replicas.values())
+
+    def test_rejected_submission_can_retry_after_drain(self):
+        cfg = ProtocolConfig(n=7, f=2)
+        dep = SMRDeployment(
+            cfg, CounterApp, num_slots=3, seed=6, max_pending=2
+        )
+        dep.submit_to_all(b"ADD:1")
+        dep.submit_to_all(b"ADD:2")
+        assert not dep.submit_to_all(b"ADD:3")
+        dep.run(max_time=20_000)  # drains the queues
+        assert dep.submit_to_all(b"ADD:3") or dep.all_applied()
+
+    def test_invalid_max_pending_rejected(self):
+        from repro.smr.replica import SMRReplica
+
+        with pytest.raises(ValueError):
+            SMRReplica(
+                0,
+                ProtocolConfig(n=7, f=2),
+                None,
+                None,
+                CounterApp(),
+                num_slots=1,
+                max_pending=0,
+            )

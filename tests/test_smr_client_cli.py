@@ -36,17 +36,98 @@ class TestSMRClient:
         assert not math.isnan(client.mean_latency())
         assert client.mean_latency() >= 3.0  # at least one consensus round
 
-    def test_duplicate_command_rejected(self):
+    def test_duplicate_payloads_are_distinct_requests(self):
+        """Regression: payload-keyed tracking made equal payloads collide
+        with a ValueError; (client_id, seq) identity keeps them distinct."""
+        dep, client = self.make()
+        first = client.submit(b"INC")
+        second = client.submit(b"INC")  # formerly raised ValueError
+        assert first.request_id != second.request_id
+        assert first.command != second.command
+        dep.run(max_time=20_000)
+        assert client.all_completed()
+        assert first.slot != second.slot
+        # Both increments applied: the counter reads 2 everywhere.
+        assert all(
+            snapshot == 2 for snapshot in dep.snapshots().values()
+        )
+
+    def test_two_clients_same_payload_both_complete(self):
+        dep = SMRDeployment(
+            ProtocolConfig(n=7, f=2), CounterApp, num_slots=3, seed=11
+        )
+        alice = SMRClient(dep)
+        bob = SMRClient(dep)
+        assert alice.client_id != bob.client_id
+        a = alice.submit(b"INC")
+        b = bob.submit(b"INC")
+        dep.run(max_time=20_000)
+        assert a.completed and b.completed
+        assert all(snapshot == 2 for snapshot in dep.snapshots().values())
+
+    def test_duplicate_request_id_still_rejected(self):
         _dep, client = self.make()
-        client.submit(b"INC")
+        client.submit(b"INC", seq=5)
         with pytest.raises(ValueError):
-            client.submit(b"INC")
+            client.submit(b"DEC", seq=5)
 
     def test_incomplete_without_run(self):
+        """Regression: mean_latency returned NaN (silently poisoning report
+        columns); it is now an explicit None with a timed_out count."""
         _dep, client = self.make()
         client.submit(b"INC")
         assert not client.all_completed()
-        assert math.isnan(client.mean_latency())
+        assert client.mean_latency() is None
+        assert client.p50_latency() is None
+        assert client.p99_latency() is None
+        assert client.timed_out == 1
+        summary = client.latency_summary()
+        assert summary["completed"] == 0
+        assert summary["incomplete"] == 1
+        assert summary["mean_latency"] is None
+
+    def test_latency_percentiles_after_run(self):
+        dep, client = self.make()
+        for _ in range(3):
+            client.submit(b"INC")
+        dep.run(max_time=20_000)
+        assert client.all_completed()
+        assert client.timed_out == 0
+        p50, p99 = client.p50_latency(), client.p99_latency()
+        assert p50 is not None and p99 is not None
+        assert p50 <= p99
+        assert client.mean_latency() >= 3.0
+
+    def test_late_client_recovers_prior_requests(self):
+        """Regression: a client constructed after the deployment ran missed
+        already-recorded applies and hung forever; the replayed history
+        completes the resubmission immediately."""
+        dep = SMRDeployment(
+            ProtocolConfig(n=7, f=2), CounterApp, num_slots=2, seed=11
+        )
+        early = SMRClient(dep)
+        record = early.submit(b"INC")
+        dep.run(max_time=20_000)
+        assert record.completed
+        # A re-attached client (same identity) resubmitting the same request
+        # completes from replayed history instead of hanging.
+        late = SMRClient(dep, client_id=early.client_id)
+        replayed = late.submit(b"INC", seq=record.seq)
+        assert replayed is not None
+        assert replayed.completed
+        assert replayed.recovered
+        assert replayed.slot == record.slot
+
+    def test_late_client_sees_live_applies(self):
+        dep = SMRDeployment(
+            ProtocolConfig(n=7, f=2), CounterApp, num_slots=2, seed=11
+        )
+        dep.start()
+        dep.sim.run(until=1.0)  # deployment already running
+        client = SMRClient(dep)
+        record = client.submit(b"INC")
+        dep.run(max_time=20_000)
+        assert record.completed and not record.recovered
 
     def test_apply_recorder_still_chained(self):
         dep, client = self.make(slots=2)

@@ -1,0 +1,243 @@
+"""Tests for the closed-loop SMR serving benchmark layer.
+
+Covers the :mod:`repro.smr.workload` surface: workload/spec validation,
+golden-seed determinism (in-process and across engine backends), the
+adversary × load scenario cells, the batching throughput claim, and
+log/snapshot consistency under Byzantine leaders at load.
+"""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness.parallel import ExperimentEngine
+from repro.smr.app import CounterApp
+from repro.smr.service import SMRDeployment
+from repro.smr.workload import (
+    LOAD_LEVELS,
+    SERVING_ADVERSARIES,
+    ServingSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+    build_serving_deployment,
+    run_serving_trial,
+    run_serving_trial_spec,
+    serving_cells,
+    serving_trials,
+)
+from repro.smr.workload import (
+    _equivocating_slot_factory,
+    _flooding_slot_factory,
+)
+
+# A small spec that still exercises batching, pipelining, and the closed
+# loop, but completes in well under a second.
+SMALL = dict(num_clients=6, requests_per_client=3, max_time=5_000.0)
+
+
+class TestWorkloadSpec:
+    def test_total_requests(self):
+        spec = WorkloadSpec(num_clients=5, requests_per_client=3)
+        assert spec.total_requests == 15
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_clients": 0},
+            {"requests_per_client": 0},
+            {"think_time": -1.0},
+            {"window": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+
+class TestServingSpec:
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ValueError):
+            ServingSpec(adversary="gaslighting")
+
+    def test_unknown_load_rejected(self):
+        with pytest.raises(ValueError):
+            ServingSpec(load="ludicrous")
+
+    def test_load_preset_with_overrides(self):
+        spec = ServingSpec(load="low", num_clients=3)
+        workload = spec.workload()
+        assert workload.num_clients == 3  # explicit override wins
+        assert workload.think_time == LOAD_LEVELS["low"]["think_time"]
+
+    def test_slot_budget_covers_workload(self):
+        spec = ServingSpec(**SMALL)
+        assert spec.slots() > spec.workload().total_requests
+        assert ServingSpec(num_slots=7).slots() == 7
+
+    def test_adversary_registry_shape(self):
+        assert SERVING_ADVERSARIES["none"] is None
+        assert SERVING_ADVERSARIES["equivocating-leader"][0] == 0
+        assert SERVING_ADVERSARIES["flooding"][0] == 1
+
+
+class TestWorkloadGenerator:
+    def test_closed_loop_completes_all_requests(self):
+        spec = ServingSpec(**SMALL)
+        deployment = build_serving_deployment(spec)
+        generator = WorkloadGenerator(deployment, spec.workload(), seed=0)
+        generator.run(max_time=spec.max_time)
+        assert generator.done()
+        assert generator.completed == spec.workload().total_requests
+        assert deployment.logs_consistent()
+        for record in generator.records:
+            assert record.completed
+            assert record.latency > 0
+            assert len(record.acked_by) >= deployment.config.f + 1
+
+    def test_unique_request_identities(self):
+        spec = ServingSpec(**SMALL)
+        deployment = build_serving_deployment(spec)
+        generator = WorkloadGenerator(deployment, spec.workload(), seed=0)
+        generator.run(max_time=spec.max_time)
+        ids = [(r.client_id, r.seq) for r in generator.records]
+        assert len(ids) == len(set(ids))
+
+    def test_backpressure_surfaces_as_retries(self):
+        # A one-deep queue against an eager 2-window population must refuse
+        # some submissions; the closed loop retries them to completion.
+        spec = ServingSpec(
+            num_clients=8,
+            requests_per_client=2,
+            think_time=0.0,
+            window=2,
+            retry_backoff=0.5,
+            max_pending=1,
+            batch_size=1,
+            pipeline=1,
+            max_time=10_000.0,
+        )
+        deployment = build_serving_deployment(spec)
+        generator = WorkloadGenerator(deployment, spec.workload(), seed=0)
+        generator.run(max_time=spec.max_time)
+        assert generator.done()
+        assert generator.retries > 0
+
+    def test_accumulator_counts_unissued_as_incomplete(self):
+        spec = ServingSpec(**SMALL)
+        deployment = build_serving_deployment(spec)
+        generator = WorkloadGenerator(deployment, spec.workload(), seed=0)
+        # Never run: nothing issued, everything incomplete.
+        acc = generator.latency_accumulator()
+        assert acc.completed == 0
+        assert acc.incomplete == spec.workload().total_requests
+        assert acc.mean is None
+
+
+class TestGoldenSeedDeterminism:
+    def test_same_spec_same_latencies(self):
+        spec = ServingSpec(**SMALL)
+        first = run_serving_trial(spec)
+        second = run_serving_trial(spec)
+        assert first.latencies == second.latencies
+        assert first.row() == second.row()
+
+    def test_different_seed_different_latencies(self):
+        base = ServingSpec(**SMALL)
+        other = ServingSpec(seed=1, **SMALL)
+        assert run_serving_trial(base).latencies != run_serving_trial(other).latencies
+
+    def test_backends_agree(self):
+        """The golden witness is bit-identical across engine backends."""
+        trials = serving_trials(
+            [ServingSpec(**SMALL), ServingSpec(seed=1, **SMALL)]
+        )
+        serial = ExperimentEngine(workers=0).map(run_serving_trial_spec, trials)
+        pool = ExperimentEngine(workers=2)
+        try:
+            pooled = pool.map(run_serving_trial_spec, trials)
+        finally:
+            pool.close()
+        for a, b in zip(serial, pooled):
+            assert a.latencies == b.latencies
+            assert a.row() == b.row()
+
+
+class TestServingCells:
+    def test_matrix_shape(self):
+        cells = serving_cells()
+        assert len(cells) == len(SERVING_ADVERSARIES) * len(LOAD_LEVELS)
+        assert {c.adversary for c in cells} == set(SERVING_ADVERSARIES)
+        assert {c.load for c in cells} == set(LOAD_LEVELS)
+
+    @pytest.mark.parametrize("adversary", sorted(SERVING_ADVERSARIES))
+    def test_cell_serves_under_adversary(self, adversary):
+        spec = ServingSpec(adversary=adversary, **SMALL)
+        result = run_serving_trial(spec)
+        assert result.completed > 0
+        assert result.throughput > 0
+        assert result.logs_consistent
+        assert result.mean_latency is not None
+
+    def test_flooding_matches_no_fault_latency(self):
+        """Flooded junk is rejected wholesale: the honest quorum path is
+        untouched, so the latency profile matches the no-fault cell."""
+        quiet = run_serving_trial(ServingSpec(**SMALL))
+        noisy = run_serving_trial(ServingSpec(adversary="flooding", **SMALL))
+        assert noisy.latencies == quiet.latencies
+
+    def test_equivocation_costs_latency(self):
+        honest = run_serving_trial(ServingSpec(**SMALL))
+        attacked = run_serving_trial(
+            ServingSpec(adversary="equivocating-leader", **SMALL)
+        )
+        assert attacked.completed > 0
+        assert attacked.p99_latency > honest.p99_latency
+
+
+class TestBatchingThroughput:
+    def test_batching_beats_unbatched_pipeline_one(self):
+        load = dict(num_clients=12, requests_per_client=3, max_time=20_000.0)
+        batched = run_serving_trial(
+            ServingSpec(batch_size=8, pipeline=4, **load)
+        )
+        unbatched = run_serving_trial(
+            ServingSpec(batch_size=1, pipeline=1, **load)
+        )
+        assert batched.completed == unbatched.completed
+        assert batched.throughput > unbatched.throughput
+
+
+class TestByzantineConsistencyAtLoad:
+    """Satellite: logs and snapshots stay consistent under equivocating and
+    flooding leaders.  Uses small eager deployments driven to
+    ``all_applied`` so every replica's state machine is drained before the
+    snapshot comparison."""
+
+    def run_deployment(self, factory, replica_id):
+        cfg = ProtocolConfig(n=9, f=2)
+        dep = SMRDeployment(
+            cfg,
+            CounterApp,
+            num_slots=3,
+            seed=13,
+            byzantine_factories={replica_id: factory},
+            batch_size=2,
+        )
+        for i in range(4):
+            dep.submit_to_all(b"ADD:%d" % (i + 1))
+        dep.run(max_time=50_000)
+        return dep
+
+    def test_equivocating_leader_consistency(self):
+        dep = self.run_deployment(_equivocating_slot_factory, 0)
+        assert dep.all_applied()
+        assert dep.logs_consistent()
+        assert dep.snapshots_consistent()
+
+    def test_flooding_consistency(self):
+        dep = self.run_deployment(_flooding_slot_factory, 1)
+        assert dep.all_applied()
+        assert dep.logs_consistent()
+        assert dep.snapshots_consistent()
+        # The flooder contributed nothing: honest state is the sum applied.
+        honest = [s for r, s in dep.snapshots().items() if r != 1]
+        assert all(s == sum(range(1, 5)) for s in honest)
