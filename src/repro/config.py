@@ -134,12 +134,23 @@ class ProtocolConfig:
     @property
     def q(self) -> int:
         """Probabilistic quorum size ``⌈l·√n⌉``."""
-        return probabilistic_quorum_size(self.n, self.l)
+        # Lazily memoized: the config is frozen, and the hot vote path reads
+        # q/sample_size once per recipient — recomputing ceil(l·√n) tens of
+        # thousands of times per trial is pure waste.
+        cached = self.__dict__.get("_q")
+        if cached is None:
+            cached = probabilistic_quorum_size(self.n, self.l)
+            object.__setattr__(self, "_q", cached)
+        return cached
 
     @property
     def sample_size(self) -> int:
         """VRF recipient sample size ``s = min(n, ⌈o·q⌉)``."""
-        return vrf_sample_size(self.n, self.q, self.o)
+        cached = self.__dict__.get("_sample_size")
+        if cached is None:
+            cached = vrf_sample_size(self.n, self.q, self.o)
+            object.__setattr__(self, "_sample_size", cached)
+        return cached
 
     @property
     def det_quorum(self) -> int:

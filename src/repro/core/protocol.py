@@ -32,6 +32,19 @@ def default_value(replica: ReplicaId) -> Value:
     return f"value-{replica}".encode()
 
 
+def _is_pure_constant(latency: Optional[LatencyModel]) -> bool:
+    """Exactly the default/ConstantLatency model (no subclass surprises)."""
+    from ..net.latency import ConstantLatency
+
+    return latency is None or type(latency) is ConstantLatency
+
+
+def _is_no_chaos(chaos: Optional[ChaosPolicy]) -> bool:
+    from ..net.faults import NoChaos
+
+    return chaos is None or type(chaos) is NoChaos
+
+
 class ProBFTDeployment:
     """One consensus instance: n replicas, a network, and a clock.
 
@@ -61,6 +74,7 @@ class ProBFTDeployment:
         dissemination: str = "dense",
         gossip_fanout: Optional[int] = None,
         gossip_rounds: Optional[int] = None,
+        columnar: bool = False,
     ) -> None:
         if dissemination not in ("dense", "gossip"):
             raise ValueError(
@@ -68,7 +82,29 @@ class ProBFTDeployment:
             )
         self.config = config
         self.seed = seed
-        self.sim = Simulator()
+        self.columnar = columnar
+        if columnar:
+            try:
+                from . import columnar as _columnar_mod
+            except ImportError as exc:  # pragma: no cover - env-dependent
+                raise RuntimeError(
+                    "columnar=True requires numpy, which is not installed; "
+                    "install numpy or build the deployment without columnar"
+                ) from exc
+        else:
+            _columnar_mod = None
+        # Pure-model fast path: with constant latency, no chaos and no
+        # duplication the event stream is the one _sparse_dispatch already
+        # single-buckets, so the columnar deployment also swaps in the
+        # structured-array ring queue (fire order identical to heap/bucket).
+        if columnar and (
+            duplicate_prob == 0.0
+            and _is_pure_constant(latency)
+            and _is_no_chaos(chaos)
+        ):
+            self.sim = Simulator(queue="ring")
+        else:
+            self.sim = Simulator()
         self.network = Network(
             self.sim,
             config.n,
@@ -96,6 +132,15 @@ class ProBFTDeployment:
             frozenset(range(config.n)) - self.byzantine_ids
         )
         values = values or {}
+
+        # Shared columnar vote state: one set of arrays for every correct
+        # replica; the per-replica collector tables become facades over it.
+        if columnar:
+            self._columnar_state = _columnar_mod.ColumnarVoteState(
+                config.n, config.q, self._correct_ids
+            )
+        else:
+            self._columnar_state = None
 
         self.dissemination = dissemination
         if dissemination == "gossip":
@@ -129,6 +174,7 @@ class ProBFTDeployment:
                     timeout_policy=timeout_policy,
                     on_decide=self._record_decision,
                     trace=trace,
+                    columnar_state=self._columnar_state,
                 )
             handler = replica.on_message
             if self.disseminator is not None:
@@ -152,16 +198,33 @@ class ProBFTDeployment:
                 self.network.register_batch(
                     r, self.replicas[r].on_sample_message
                 )
-            self.network.use_bulk_handler(
-                BulkVoteDispatch(
-                    config,
-                    self.crypto,
-                    self.replicas,
-                    self._correct_ids,
-                    self.network._handlers,
-                    policy,
+            if columnar:
+                # BulkVoteDispatch reaches into dense collector internals
+                # the facades don't have; columnar deployments must install
+                # the array-at-a-time kernel instead.
+                self.network.use_bulk_handler(
+                    _columnar_mod.ColumnarVoteDispatch(
+                        config,
+                        self.crypto,
+                        self.replicas,
+                        self._correct_ids,
+                        self.network._handlers,
+                        policy,
+                        self._columnar_state,
+                        dup_possible=duplicate_prob > 0.0,
+                    )
                 )
-            )
+            else:
+                self.network.use_bulk_handler(
+                    BulkVoteDispatch(
+                        config,
+                        self.crypto,
+                        self.replicas,
+                        self._correct_ids,
+                        self.network._handlers,
+                        policy,
+                    )
+                )
         self._started = False
 
     # ------------------------------------------------------------------

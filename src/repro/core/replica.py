@@ -441,6 +441,7 @@ class ProBFTReplica:
         timeout_policy: Optional[TimeoutPolicy] = None,
         on_decide: Optional[DecisionCallback] = None,
         trace: bool = False,
+        columnar_state=None,
     ) -> None:
         self.id = replica_id
         self.config = config
@@ -477,8 +478,24 @@ class ProBFTReplica:
         self._decision: Optional[Decision] = None
 
         # --- bookkeeping ---
-        self._prepare_collectors: Dict[View, ProbabilisticQuorumCollector] = {}
-        self._commit_collectors: Dict[View, ProbabilisticQuorumCollector] = {}
+        # Columnar seam: when a shared ColumnarVoteState is supplied, the
+        # per-view collector tables materialize array-backed facades on
+        # lookup (so kernel-delivered votes are visible even before this
+        # replica touched the table) and the mirror columns below track the
+        # few state transitions the bulk kernel classifies on.
+        self._cells = columnar_state
+        if columnar_state is None:
+            self._prepare_collectors: Dict[View, ProbabilisticQuorumCollector] = {}
+            self._commit_collectors: Dict[View, ProbabilisticQuorumCollector] = {}
+        else:
+            from .columnar import ColumnarCollectorTable
+
+            self._prepare_collectors = ColumnarCollectorTable(
+                columnar_state, True, replica_id
+            )
+            self._commit_collectors = ColumnarCollectorTable(
+                columnar_state, False, replica_id
+            )
         self._new_leader_collectors: Dict[View, DeterministicQuorumCollector] = {}
         self._proposed_views: Set[View] = set()
         self._committed_views: Set[View] = set()
@@ -491,6 +508,24 @@ class ProBFTReplica:
     def decision(self) -> Optional[Decision]:
         """The replica's decision, if it has decided."""
         return self._decision
+
+    @property
+    def _cert(self) -> Tuple[Signed, ...]:
+        # Columnar mode defers the quorum_messages gather (see
+        # _try_form_prepared): a pending [collector, value] pair — a list,
+        # so it can never be confused with a materialized cert tuple — is
+        # resolved on first read and cached back as the plain tuple.
+        data = self._cert_data
+        if type(data) is tuple:
+            return data
+        collector, value = data
+        cert = collector.quorum_messages(value)
+        self._cert_data = cert
+        return cert
+
+    @_cert.setter
+    def _cert(self, value: Tuple[Signed, ...]) -> None:
+        self._cert_data = value
 
     @property
     def current_view(self) -> View:
@@ -637,6 +672,8 @@ class ProBFTReplica:
         self._voted = False
         self._block_view = False
         self._proposal = None
+        if self._cells is not None:
+            self._cells.note_view(self.id, view, view in self._committed_views)
         self._prune(view)
         self._trace("new-view", view=view)
 
@@ -769,7 +806,15 @@ class ProBFTReplica:
         # Lines 18-20: store the prepared certificate, multicast Commit.
         self._prepared_value = self._cur_val
         self._prepared_view = view
-        self._cert = collector.quorum_messages(self._cur_val)
+        if self._cells is not None:
+            # Columnar slots are never reclaimed within a trial and latch at
+            # quorum, so cert materialization (a q-wide gather) can wait for
+            # an actual read — NewLeader at view change, or the audit.  Most
+            # trials decide in view 1 and never pay it.
+            self._cert_data = [collector, self._cur_val]
+            self._cells.note_committed(self.id)
+        else:
+            self._cert = collector.quorum_messages(self._cur_val)
         self._committed_views.add(view)
         self._trace("prepared", view=view, value=self._cur_val)
 
@@ -812,6 +857,8 @@ class ProBFTReplica:
         self._decision = Decision(
             replica=self.id, value=value, view=view, time=self._transport.now
         )
+        if self._cells is not None:
+            self._cells.note_decided(self.id)
         self._trace("decide", view=view, value=value)
         if self._on_decide is not None:
             self._on_decide(self._decision)
@@ -839,6 +886,8 @@ class ProBFTReplica:
             return
         # The leader provably signed two different values for this view.
         self._block_view = True
+        if self._cells is not None:
+            self._cells.note_blocked(self.id)
         self._trace(
             "block-view", view=view, ours=self._cur_val, theirs=inner.value
         )
@@ -887,9 +936,28 @@ class ProBFTReplica:
             self._transport.send(dst, message)
 
     def _multicast_sample(self, sample: VRFOutput, message: Signed) -> None:
-        others = [dst for dst in sample.sample if dst != self.id]
-        self._transport.multicast(others, message)
-        if self.id in sample.sample:
+        # Samples are drawn without replacement, so self appears at most
+        # once; C-level index + slice beats filtering ~s elements per vote.
+        # The sliced target tuple is cached on the (frozen, memo-stable)
+        # output object: only the prover ever multicasts its own sample, and
+        # pooled trials reuse the same VRFOutput — so the slice happens once
+        # per pool entry and downstream identity-keyed caches (the columnar
+        # kernel's ndarray memo) see one stable tuple object per sample.
+        cached = sample.__dict__.get("_mcast")
+        if cached is not None and cached[0] == self.id:
+            targets, has_self = cached[1], cached[2]
+        else:
+            full = sample.sample
+            try:
+                i = full.index(self.id)
+                targets = full[:i] + full[i + 1 :]
+                has_self = True
+            except ValueError:
+                targets = full
+                has_self = False
+            sample.__dict__["_mcast"] = (self.id, targets, has_self)
+        self._transport.multicast(targets, message)
+        if has_self:
             self._deliver_local(message)
 
     def _deliver_local(self, message: Signed) -> None:

@@ -21,6 +21,7 @@ while still amortizing setup across the many trials each worker runs.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -34,6 +35,32 @@ from .vrf import VRF, MemoizedVRF
 #: are evicted first.  Large sweeps touch many ``(n, seed)`` pairs — the
 #: bound keeps the pool from holding every registry ever built.
 POOL_MAX_ENTRIES = 128
+
+#: Byte-budget bounds for the pooled memo caches.  The floor keeps small
+#: deployments from thrashing; the ceiling caps what one (n, master_seed)
+#: pool entry may pin — at n=20000 an uncapped 4n-entry VRF memo would pin
+#: gigabytes of expanded sample tuples.
+MEMO_BUDGET_FLOOR = 32 << 20  # 32 MiB
+MEMO_BUDGET_CEILING = 512 << 20  # 512 MiB
+
+
+def memo_budget(n: int) -> Tuple[int, int]:
+    """``(byte_budget, entry_bytes)`` for the size-``n`` VRF memo caches.
+
+    A trial proves/expands ~2n+1 sampler keys; each memo entry pins an
+    expanded sample tuple of ``s = min(n, ceil(1.7·ceil(2√n)))`` member ids
+    (~40 bytes per id of tuple slot + int object) plus fixed overhead.  The
+    ideal budget covers ``4n`` entries (two warm trials, the PR 7 cap) but
+    is clamped to [floor, ceiling] so the cap scales with *bytes*, not
+    entry counts — past n≈10⁴ the ceiling binds and eviction counters (see
+    ``MemoizedVRF.evictions``) make the resulting thrash observable.
+    """
+    q = math.ceil(2.0 * math.sqrt(n))
+    s_est = min(n, math.ceil(1.7 * q))
+    entry_bytes = 40 * s_est + 160
+    ideal = (4 * n + 64) * entry_bytes
+    budget = min(MEMO_BUDGET_CEILING, max(MEMO_BUDGET_FLOOR, ideal))
+    return budget, entry_bytes
 
 
 @dataclass(frozen=True)
@@ -91,10 +118,17 @@ class CryptoContext:
             # first entry so concurrent callers share one VRF cache.
             registry = KeyRegistry(n, master_seed)
             # A trial proves ~2n+1 sampler keys (prepare + commit per
-            # replica, plus the leader's propose); the default 8192-entry
-            # bound FIFO-thrashes past n≈4000 and the "warm" pass re-proves
-            # everything.  Scale the bound with the deployment size.
-            built = (registry, MemoizedVRF(registry, max_entries=max(8192, 4 * n)))
+            # replica, plus the leader's propose); a fixed entry bound
+            # FIFO-thrashes past n≈4000, while an uncapped 4n-entry bound
+            # pins gigabytes past n≈10⁴.  Budget by bytes instead (see
+            # memo_budget) and let the eviction counter expose any thrash.
+            budget, entry_bytes = memo_budget(n)
+            built = (
+                registry,
+                MemoizedVRF(
+                    registry, byte_budget=budget, entry_bytes=entry_bytes
+                ),
+            )
             with _POOL_LOCK:
                 entry = _POOL.get(key)
                 if entry is None:
@@ -109,8 +143,16 @@ class CryptoContext:
             registry=registry,
             # ~2n vote envelopes per trial: size the per-deployment verify
             # memo so one trial's envelopes fit without FIFO eviction.
+            # Envelope entries pin shallow object graphs (~1 KiB amortized;
+            # the fat sample tuples are shared with the VRF memo), so the
+            # budget admits 4n+64 entries until the ceiling binds.
             signatures=MemoizedSignatureScheme(
-                registry, max_entries=max(8192, 4 * n)
+                registry,
+                byte_budget=min(
+                    MEMO_BUDGET_CEILING,
+                    max(MEMO_BUDGET_FLOOR, (4 * n + 64) * 1024),
+                ),
+                entry_bytes=1024,
             ),
             vrf=vrf,
         )

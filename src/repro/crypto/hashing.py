@@ -19,13 +19,16 @@ _SEPARATOR = b"\x1f"
 # times — a broadcast vote's shared leader statement is re-encoded once per
 # signature over a message embedding it.  The entry pins the object alive so
 # its id cannot be recycled, and the identity recheck makes a stale-id hit
-# impossible; bounded FIFO eviction keeps long sessions from pinning every
-# envelope ever encoded.  Objects that expose ``canonical()`` MUST be
-# immutable for this cache (and for signing in general) to be sound.
+# impossible; bounded **LRU** eviction keeps long sessions from pinning
+# every envelope ever encoded while letting the recurring entries (the
+# memoized VRF outputs' identity-stable sample encodes, re-read by every
+# vote signature) refresh on hit — one-shot vote envelopes flow through and
+# evict first.  FIFO would instead cycle the hot sample entries out once a
+# trial's fresh-envelope inserts exceed the cap (n≳10⁴), re-paying an O(s)
+# tuple encode per sample per trial.  Objects that expose ``canonical()``
+# MUST be immutable for this cache (and for signing in general) to be sound.
 _CANONICAL_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
-_CANONICAL_CACHE_MAX = 49152  # > 2 trials of inserts at n=2000, so the
-# memoized VRF outputs' (identity-stable) sample encodes survive from one
-# trial to the next instead of being FIFO-evicted and re-encoded.
+_CANONICAL_CACHE_MAX = 49152
 
 
 def stable_encode(value: Any) -> bytes:
@@ -80,6 +83,7 @@ def stable_encode(value: Any) -> bytes:
         key = id(value)
         entry = _CANONICAL_CACHE.get(key)
         if entry is not None and entry[0] is value:
+            _CANONICAL_CACHE.move_to_end(key)
             return entry[1]
         encoded = b"C" + stable_encode(canonical())
         _CANONICAL_CACHE[key] = (value, encoded)

@@ -98,19 +98,55 @@ class MemoizedSignatureScheme(SignatureScheme):
     uncached scheme.
 
     Bounded FIFO eviction keeps a long-lived (pooled) scheme from pinning
-    every envelope ever verified.
+    every envelope ever verified.  The bound can be given directly
+    (``max_entries``) or derived from a byte budget (``byte_budget`` with an
+    estimated ``entry_bytes`` per pinned entry), and ``evictions`` counts
+    every FIFO drop so memo thrash at large ``n`` is observable instead of
+    silent (see :meth:`cache_stats`).
+
+    A second, sign-side memo makes the *first* verification of an honestly
+    signed envelope cheap: :meth:`sign` records ``payload identity → tag``
+    computed with the registry's own key, and :meth:`verify` for the same
+    payload object and signer reduces to a byte comparison against that tag
+    — exactly the digest the full recompute would produce.  Forgeries never
+    hit it: a tampered payload is a different object, a wrong signer fails
+    the signer check, and :meth:`sign_with` (the adversary's corrupted-key
+    path) never populates the memo.
     """
 
-    def __init__(self, registry: KeyRegistry, max_entries: int = 8192) -> None:
+    def __init__(
+        self,
+        registry: KeyRegistry,
+        max_entries: int = 8192,
+        *,
+        byte_budget: int = None,
+        entry_bytes: int = 1024,
+    ) -> None:
         super().__init__(registry)
+        if byte_budget is not None:
+            if entry_bytes < 1:
+                raise ValueError(f"entry_bytes must be >= 1, got {entry_bytes}")
+            max_entries = max(1, byte_budget // entry_bytes)
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         # id(signed) -> (signed, verdict); the strong reference keeps the
         # id stable for as long as the entry lives.
         self._cache: "OrderedDict[int, tuple]" = OrderedDict()
+        # id(payload) -> (payload, signer, tag) recorded by honest sign().
+        self._tag_cache: "OrderedDict[int, tuple]" = OrderedDict()
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.tag_hits = 0
+        self.evictions = 0
+
+    def sign(self, signer: ReplicaId, payload: Any) -> Signed:
+        signed = super().sign(signer, payload)
+        self._tag_cache[id(payload)] = (payload, signer, signed.signature)
+        if len(self._tag_cache) > self._max_entries:
+            self._tag_cache.popitem(last=False)
+            self.evictions += 1
+        return signed
 
     def verify(self, signed: Signed) -> bool:
         key = id(signed)
@@ -118,9 +154,34 @@ class MemoizedSignatureScheme(SignatureScheme):
         if entry is not None and entry[0] is signed:
             self.hits += 1
             return entry[1]
-        verdict = super().verify(signed)
+        tag = self._tag_cache.get(id(signed.payload))
+        if (
+            tag is not None
+            and tag[0] is signed.payload
+            and tag[1] == signed.signer
+        ):
+            # sign() computed digest(domain ‖ registry key ‖ signer ‖ this
+            # very payload object) moments ago; comparing against it is the
+            # full recompute, minus the encode + SHA-256.
+            verdict = tag[2] == signed.signature
+            self.tag_hits += 1
+        else:
+            verdict = super().verify(signed)
         self.misses += 1
         self._cache[key] = (signed, verdict)
         if len(self._cache) > self._max_entries:
             self._cache.popitem(last=False)
+            self.evictions += 1
         return verdict
+
+    def cache_stats(self) -> dict:
+        """Memo telemetry: hit/miss/eviction counters and current sizes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "tag_hits": self.tag_hits,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+            "tag_entries": len(self._tag_cache),
+            "max_entries": self._max_entries,
+        }

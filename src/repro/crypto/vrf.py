@@ -208,8 +208,22 @@ class MemoizedVRF(VRF):
       can never serve a stale verdict.
     """
 
-    def __init__(self, registry: KeyRegistry, max_entries: int = 8192) -> None:
+    def __init__(
+        self,
+        registry: KeyRegistry,
+        max_entries: int = 8192,
+        *,
+        byte_budget: int = None,
+        entry_bytes: int = 2048,
+    ) -> None:
         super().__init__(registry)
+        if byte_budget is not None:
+            # Byte-budgeted cap: entries pin expanded sample tuples (~40
+            # bytes per member id plus object overhead), so a fixed entry
+            # count that is harmless at n=2000 is gigabytes at n=20000.
+            if entry_bytes < 1:
+                raise ValueError(f"entry_bytes must be >= 1, got {entry_bytes}")
+            max_entries = max(1, byte_budget // entry_bytes)
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._cache: "OrderedDict[Tuple[bytes, int], Tuple[ReplicaId, ...]]" = (
@@ -228,6 +242,27 @@ class MemoizedVRF(VRF):
         self.prove_misses = 0
         self.verify_hits = 0
         self.verify_misses = 0
+        self.prove_identity_hits = 0
+        self.evictions = 0
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Memo telemetry: hit/miss/eviction counters and current sizes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "prove_hits": self.prove_hits,
+            "prove_misses": self.prove_misses,
+            "verify_hits": self.verify_hits,
+            "verify_misses": self.verify_misses,
+            "prove_identity_hits": self.prove_identity_hits,
+            "evictions": self.evictions,
+            "entries": (
+                len(self._cache)
+                + len(self._prove_cache)
+                + len(self._verify_cache)
+            ),
+            "max_entries": self._max_entries,
+        }
 
     def _sample(self, key: bytes, s: int) -> Tuple[ReplicaId, ...]:
         cache_key = (key, s)
@@ -240,6 +275,7 @@ class MemoizedVRF(VRF):
         self._cache[cache_key] = sample
         if len(self._cache) > self._max_entries:
             self._cache.popitem(last=False)
+            self.evictions += 1
         return sample
 
     def prove(self, replica: ReplicaId, seed: str, s: int) -> VRFOutput:
@@ -253,6 +289,7 @@ class MemoizedVRF(VRF):
         self._prove_cache[cache_key] = output
         if len(self._prove_cache) > self._max_entries:
             self._prove_cache.popitem(last=False)
+            self.evictions += 1
         return output
 
     def verify(
@@ -263,12 +300,28 @@ class MemoizedVRF(VRF):
         if entry is not None and entry[0] is output:
             self.verify_hits += 1
             return entry[1]
-        valid = super().verify(replica, seed, s, output)
+        if self._prove_cache.get((replica, seed, s)) is output:
+            # This very object came out of the honest prove path for the
+            # same (replica, seed, s) — it verifies by construction (the
+            # prove memo only holds registry-keyed outputs), no need to
+            # re-derive the sampler key and replay the shuffle.
+            valid = True
+            self.prove_identity_hits += 1
+        else:
+            valid = super().verify(replica, seed, s, output)
         self.verify_misses += 1
         self._verify_cache[cache_key] = (output, valid)
         if len(self._verify_cache) > self._max_entries:
             self._verify_cache.popitem(last=False)
+            self.evictions += 1
         return valid
+
+
+#: Interned seed strings — the hot path derives the same (view, tag) seed
+#: once per delivered vote; bounded so adversarial view counters cannot
+#: grow it without limit.
+_PHASE_SEED_MEMO: Dict[Tuple[int, str, str], str] = {}
+_PHASE_SEED_MEMO_MAX = 4096
 
 
 def phase_seed(view: int, phase_tag: str, domain: str = "") -> str:
@@ -278,6 +331,13 @@ def phase_seed(view: int, phase_tag: str, domain: str = "") -> str:
     ``domain`` scopes seeds to one consensus instance (the SMR extension
     runs one instance per slot); the paper's single-shot setting uses "".
     """
-    if domain:
-        return f"{domain}#{view}||{phase_tag}"
-    return f"{view}||{phase_tag}"
+    key = (view, phase_tag, domain)
+    seed = _PHASE_SEED_MEMO.get(key)
+    if seed is None:
+        if domain:
+            seed = f"{domain}#{view}||{phase_tag}"
+        else:
+            seed = f"{view}||{phase_tag}"
+        if len(_PHASE_SEED_MEMO) < _PHASE_SEED_MEMO_MAX:
+            _PHASE_SEED_MEMO[key] = seed
+    return seed

@@ -30,8 +30,72 @@ otherwise.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class IndexedCounter:
+    """Flat slot-indexed counter over a shared name→slot registry.
+
+    The summary network accounting
+    (:class:`~repro.net.network.MessageStats`) folds its per-kind counters
+    into parallel int lists sharing ONE name→slot dict: resolving a message
+    kind once yields the same slot for the sent, delivered, and byte
+    counters alike, and the hot path does a list index instead of a dict
+    hash per record.  :meth:`as_counter` rebuilds the classic ``Counter``
+    view — including explicitly *touched* zero entries, because
+    key-presence is part of the report contract (a byte counter shows a
+    key iff a sized record occurred, even at size 0; a never-recorded kind
+    shows no key at all).
+    """
+
+    __slots__ = ("_index", "_counts", "_touched")
+
+    def __init__(self, index: Dict[str, int]) -> None:
+        self._index = index
+        self._counts: List[int] = []
+        self._touched: List[bool] = []
+
+    def slot(self, name: str) -> int:
+        """Resolve (creating if needed) ``name``'s slot and mark it live."""
+        index = self._index
+        idx = index.get(name)
+        if idx is None:
+            idx = index[name] = len(index)
+        counts = self._counts
+        if len(counts) <= idx:
+            grow = idx + 1 - len(counts)
+            counts.extend([0] * grow)
+            self._touched.extend([False] * grow)
+        self._touched[idx] = True
+        return idx
+
+    def add(self, slot: int, amount: int) -> None:
+        """Add into a slot previously resolved with :meth:`slot`."""
+        self._counts[slot] += amount
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counts[self.slot(name)] += amount
+
+    def get(self, name: str) -> int:
+        idx = self._index.get(name)
+        if idx is None or idx >= len(self._counts):
+            return 0
+        return self._counts[idx]
+
+    def total(self) -> int:
+        return sum(self._counts)
+
+    def as_counter(self) -> Counter:
+        out: Counter = Counter()
+        counts = self._counts
+        touched = self._touched
+        bound = len(counts)
+        for name, idx in self._index.items():
+            if idx < bound and touched[idx]:
+                out[name] = counts[idx]
+        return out
 
 
 def mean(values: Sequence[float]) -> float:

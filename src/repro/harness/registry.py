@@ -198,7 +198,11 @@ class MatrixCell:
     """One (protocol, adversary, latency) combination at a fixed (n, f).
 
     ``track_bytes`` cells additionally account canonical-encoding bytes per
-    message, feeding the report's byte-cost columns.
+    message, feeding the report's byte-cost columns.  ``columnar`` runs the
+    cell on the scale stack (sparse delivery + array-backed vote state,
+    golden-seed identical to dense — see :mod:`repro.core.columnar`);
+    ``track_memory`` records each trial's peak heap in the result row's
+    ``peak_mem_mb``.
     """
 
     protocol: str
@@ -207,6 +211,8 @@ class MatrixCell:
     n: int
     f: int
     track_bytes: bool = False
+    columnar: bool = False
+    track_memory: bool = False
 
     @property
     def supported(self) -> bool:
@@ -276,6 +282,12 @@ def cell_deployment_spec(
         timeout_policy=FixedTimeout(30.0),
         byzantine=behavior.byzantine_map(cell.protocol, config),
         track_bytes=cell.track_bytes,
+        # A columnar cell gets the full scale stack: the array-backed vote
+        # state only pays off behind coalesced fan-outs, and both toggles
+        # are golden-seed identical to the dense reference.
+        sparse=cell.columnar,
+        columnar=cell.columnar,
+        track_memory=cell.track_memory,
         max_time=max_time,
         # Behaviors that attack the deployment itself (e.g. duplication's
         # duplicate_prob) contribute their kwargs here, not via replicas.
@@ -306,6 +318,7 @@ def run_matrix_cell(spec: TrialSpec) -> Dict[str, Any]:
         "last_decision_time": result.last_decision_time,
         "total_messages": result.total_messages,
         "total_bytes": result.total_bytes,
+        "peak_mem_mb": result.peak_mem_mb,
     }
 
 
@@ -344,6 +357,12 @@ class ScenarioMatrix:
     #: Account per-message bytes in every cell (populates the byte-cost
     #: report columns; costs one canonical encode per distinct message).
     track_bytes: bool = False
+    #: Run every cell on the scale stack (sparse delivery + columnar vote
+    #: state; golden-seed identical to dense).  Requires numpy.
+    columnar: bool = False
+    #: Record peak heap per trial; the report grows a ``mean_peak_mem_mb``
+    #: column.  Telemetry only — roughly doubles wall clock.
+    track_memory: bool = False
 
     def __post_init__(self) -> None:
         for axis, known in (
@@ -392,6 +411,8 @@ class ScenarioMatrix:
                 n=self.n,
                 f=f,
                 track_bytes=self.track_bytes,
+                columnar=self.columnar,
+                track_memory=self.track_memory,
             )
             for p in self.protocols
             for a in self.adversaries
@@ -451,6 +472,8 @@ class ScenarioMatrix:
             target_width=self.target_width,
             target_widths=self.target_widths,
             track_bytes=self.track_bytes,
+            columnar=self.columnar,
+            track_memory=self.track_memory,
         )
 
 
@@ -479,6 +502,7 @@ class CellAccumulator:
         self._decision_time = Welford()
         self._messages = Welford()
         self._bytes = Welford()
+        self._peak_mem = Welford()
 
     def add(self, row: Dict[str, Any]) -> None:
         self.trials += 1
@@ -490,6 +514,11 @@ class CellAccumulator:
         self._decision_time.add(row["last_decision_time"])
         self._messages.add(float(row["total_messages"]))
         self._bytes.add(float(row["total_bytes"]))
+        # Presence-sniffed: rows from runs without memory telemetry (or
+        # from older row producers) simply never feed the accumulator.
+        peak = row.get("peak_mem_mb")
+        if peak is not None:
+            self._peak_mem.add(float(peak))
 
     def merge(self, other: "CellAccumulator") -> "CellAccumulator":
         """Fold another accumulator over the same cell into this one.
@@ -514,6 +543,7 @@ class CellAccumulator:
         self._decision_time.merge(other._decision_time)
         self._messages.merge(other._messages)
         self._bytes.merge(other._bytes)
+        self._peak_mem.merge(other._peak_mem)
         return self
 
     def width(self, metric: str = "agreement_rate") -> float:
@@ -541,6 +571,11 @@ class CellAccumulator:
         too so budget choices can be audited after the fact.
         """
         agreement_low, agreement_high = self._agreement_prop.interval
+        peak_mem = (
+            {"mean_peak_mem_mb": round(self._peak_mem.mean, 2)}
+            if self._peak_mem.count
+            else {}
+        )
         return {
             "protocol": self.cell.protocol,
             "adversary": self.cell.adversary,
@@ -558,6 +593,7 @@ class CellAccumulator:
             "messages_stderr": round(self._messages.stderr, 1),
             "mean_bytes": round(self._bytes.mean, 1),
             "bytes_stderr": round(self._bytes.stderr, 1),
+            **peak_mem,
         }
 
 
@@ -605,7 +641,7 @@ class MatrixReport:
         ]
         if self.adaptive:
             head += ["trials_used", "stop_reason"]
-        return head + [
+        head += [
             "decide_rate",
             "decide_stderr",
             "agreement_rate",
@@ -619,6 +655,11 @@ class MatrixReport:
             "mean_bytes",
             "bytes_stderr",
         ]
+        # Presence-sniffed telemetry column: only memory-tracked runs
+        # produce it, and hand-assembled reports without it stay valid.
+        if self.rows and "mean_peak_mem_mb" in self.rows[0]:
+            head.append("mean_peak_mem_mb")
+        return head
 
     def table_rows(self) -> List[List[Any]]:
         return [[row[h] for h in self.headers] for row in self.rows]

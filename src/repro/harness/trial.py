@@ -73,6 +73,10 @@ class RunResult:
     #: Canonical-encoding bytes sent; 0 unless the deployment was built with
     #: ``track_bytes=True`` (encoding every message has a measurable cost).
     total_bytes: int = 0
+    #: Peak Python heap during build+run in MiB (tracemalloc); ``None``
+    #: unless the spec set ``track_memory=True`` (tracing costs ~2x wall
+    #: clock, so it is strictly opt-in telemetry).
+    peak_mem_mb: Optional[float] = None
 
     @property
     def protocol_messages(self) -> int:
@@ -164,6 +168,15 @@ class DeploymentSpec:
     #: Gossip knobs; None means the protocol default ``⌈log2 n⌉ + 2``.
     gossip_fanout: Optional[int] = None
     gossip_rounds: Optional[int] = None
+    #: Columnar (array-backed) replica vote state; see
+    #: :mod:`repro.core.columnar`.  Golden-seed equivalent to the dense
+    #: object path but one order of magnitude more replicas fits in cache.
+    #: Requires numpy; off by default (dense is the reference semantics).
+    columnar: bool = False
+    #: Record the trial's peak Python heap (tracemalloc) in
+    #: :attr:`RunResult.peak_mem_mb`.  Costs ~2x wall clock; telemetry only
+    #: — it never changes protocol behaviour.
+    track_memory: bool = False
     max_time: Optional[float] = None
     max_events: int = 5_000_000
     extra: Tuple[Tuple[str, Any], ...] = ()
@@ -175,6 +188,10 @@ class DeploymentSpec:
     def with_sparse(self, sparse: bool = True) -> "DeploymentSpec":
         """The same trial with sparse delivery toggled (for A/B equivalence)."""
         return replace(self, sparse=sparse)
+
+    def with_columnar(self, columnar: bool = True) -> "DeploymentSpec":
+        """The same trial with columnar vote state toggled (A/B identity)."""
+        return replace(self, columnar=columnar)
 
     def with_gossip(
         self,
@@ -206,6 +223,9 @@ class DeploymentSpec:
             # Only forwarded when set so third-party factories registered
             # before the sparse seam keep working untouched.
             kwargs["sparse"] = True
+        if self.columnar:
+            # Same only-when-set contract as ``sparse``.
+            kwargs["columnar"] = True
         if self.dissemination != "dense":
             # Same only-when-set contract as ``sparse``.
             kwargs["dissemination"] = self.dissemination
@@ -248,24 +268,45 @@ class TrialContext:
 
     def execute(self) -> RunResult:
         if self.result is None:
-            deployment = self.build()
-            # Cyclic-GC collections dominate wall clock at large n: a trial
-            # keeps ~n·s live acyclic objects (votes, quorum buckets, queue
-            # entries) that every generation-2 scan re-traverses for nothing
-            # — at n=2000 the collector costs more than the protocol.  All
-            # per-message garbage is refcount-freed, so pausing the cycle
-            # collector for the run changes no observable behaviour.
-            was_enabled = gc.isenabled()
-            if was_enabled:
-                gc.disable()
+            track = self.spec.track_memory
+            if track:
+                import tracemalloc
+
+                # Nested tracking (e.g. a tracked trial inside a tracked
+                # sweep) reuses the outer trace and just resets the peak.
+                nested = tracemalloc.is_tracing()
+                if nested:
+                    tracemalloc.reset_peak()
+                else:
+                    tracemalloc.start()
             try:
-                deployment.run(
-                    max_time=self.spec.max_time, max_events=self.spec.max_events
-                )
-            finally:
+                deployment = self.build()
+                # Cyclic-GC collections dominate wall clock at large n: a
+                # trial keeps ~n·s live acyclic objects (votes, quorum
+                # buckets, queue entries) that every generation-2 scan
+                # re-traverses for nothing — at n=2000 the collector costs
+                # more than the protocol.  All per-message garbage is
+                # refcount-freed, so pausing the cycle collector for the
+                # run changes no observable behaviour.
+                was_enabled = gc.isenabled()
                 if was_enabled:
-                    gc.enable()
+                    gc.disable()
+                try:
+                    deployment.run(
+                        max_time=self.spec.max_time,
+                        max_events=self.spec.max_events,
+                    )
+                finally:
+                    if was_enabled:
+                        gc.enable()
+            finally:
+                if track:
+                    peak = tracemalloc.get_traced_memory()[1]
+                    if not nested:
+                        tracemalloc.stop()
             self.result = summarize(self.spec.protocol, deployment)
+            if track:
+                self.result.peak_mem_mb = peak / (1024.0 * 1024.0)
         return self.result
 
 

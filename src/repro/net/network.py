@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 from collections import Counter, OrderedDict
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..errors import NotRegisteredError
@@ -45,32 +44,79 @@ def message_type_name(message: object) -> str:
     return type(message).__name__
 
 
-@dataclass
 class MessageStats:
     """Message accounting for one network instance.
 
-    Byte counts use the canonical encoding of each message (the same bytes
-    signatures cover) and are tracked only when the network was created with
-    ``track_bytes=True`` — encoding every message has a measurable cost.
+    Summary-first: the per-kind counters live in flat slot-indexed arrays
+    (:class:`~repro.harness.metrics.IndexedCounter`) sharing one name→slot
+    registry, and the classic ``Counter`` views (``sent_by_type`` …) are
+    rebuilt on read — every reported value is identical to what per-message
+    ``Counter`` bumps would produce, at a fraction of the hot-path dict
+    traffic.  Byte counts use the canonical encoding of each message (the
+    same bytes signatures cover) and are tracked only when the network was
+    created with ``track_bytes=True`` — encoding every message has a
+    measurable cost.
+
+    ``track_history=True`` additionally retains a per-event debug log:
+    ``("send", src, kind, count, size)`` and ``("deliver", kind, count)``
+    tuples in record order.  Opt-in, because a large fan-out trial emits
+    millions of events — summary accounting is the default precisely so
+    n≈20,000 runs don't hold per-message records alive.
     """
 
-    sent_by_type: Counter = field(default_factory=Counter)
-    sent_by_replica: Counter = field(default_factory=Counter)
-    delivered_by_type: Counter = field(default_factory=Counter)
-    bytes_by_type: Counter = field(default_factory=Counter)
-    sent_total: int = 0
-    delivered_total: int = 0
-    bytes_total: int = 0
+    __slots__ = (
+        "_sent",
+        "_delivered",
+        "_bytes",
+        "sent_by_replica",
+        "sent_total",
+        "delivered_total",
+        "bytes_total",
+        "track_history",
+        "history",
+    )
+
+    def __init__(self, track_history: bool = False) -> None:
+        # Imported lazily: repro.harness pulls in the trial layer, which
+        # imports this module — a module-level import would be circular.
+        from ..harness.metrics import IndexedCounter
+
+        index: Dict[str, int] = {}
+        self._sent = IndexedCounter(index)
+        self._delivered = IndexedCounter(index)
+        self._bytes = IndexedCounter(index)
+        self.sent_by_replica: Counter = Counter()
+        self.sent_total = 0
+        self.delivered_total = 0
+        self.bytes_total = 0
+        self.track_history = track_history
+        self.history: list = []
+
+    @property
+    def sent_by_type(self) -> Counter:
+        """Per-kind send counts (a rebuilt view; record via ``record_*``)."""
+        return self._sent.as_counter()
+
+    @property
+    def delivered_by_type(self) -> Counter:
+        return self._delivered.as_counter()
+
+    @property
+    def bytes_by_type(self) -> Counter:
+        return self._bytes.as_counter()
 
     def record_send(
         self, src: ReplicaId, message: object, size: Optional[int] = None
     ) -> None:
-        self.sent_by_type[message_type_name(message)] += 1
+        name = message_type_name(message)
+        self._sent.bump(name)
         self.sent_by_replica[src] += 1
         self.sent_total += 1
         if size is not None:
-            self.bytes_by_type[message_type_name(message)] += size
+            self._bytes.bump(name, size)
             self.bytes_total += size
+        if self.track_history:
+            self.history.append(("send", src, name, 1, size))
 
     def record_multicast(
         self,
@@ -87,22 +133,37 @@ class MessageStats:
         if count <= 0:
             return
         name = message_type_name(message)
-        self.sent_by_type[name] += count
+        self._sent.bump(name, count)
         self.sent_by_replica[src] += count
         self.sent_total += count
         if size is not None:
-            self.bytes_by_type[name] += count * size
+            self._bytes.bump(name, count * size)
             self.bytes_total += count * size
+        if self.track_history:
+            self.history.append(("send", src, name, count, size))
 
     def record_delivery(self, message: object) -> None:
-        self.delivered_by_type[message_type_name(message)] += 1
+        name = message_type_name(message)
+        self._delivered.bump(name)
         self.delivered_total += 1
+        if self.track_history:
+            self.history.append(("deliver", name, 1))
+
+    def record_bulk_delivery(self, message: object, count: int) -> None:
+        """Record ``count`` deliveries of one message in bulk (fan-outs)."""
+        if count <= 0:
+            return
+        name = message_type_name(message)
+        self._delivered.bump(name, count)
+        self.delivered_total += count
+        if self.track_history:
+            self.history.append(("deliver", name, count))
 
     def sent(self, type_name: str) -> int:
-        return self.sent_by_type.get(type_name, 0)
+        return self._sent.get(type_name)
 
     def summary(self) -> Dict[str, int]:
-        out = dict(sorted(self.sent_by_type.items()))
+        out = dict(sorted(self._sent.as_counter().items()))
         out["TOTAL"] = self.sent_total
         return out
 
@@ -128,6 +189,7 @@ class Network:
         duplicate_prob: float = 0.0,
         duplicate_seed: int = 0,
         track_bytes: bool = False,
+        track_history: bool = False,
     ) -> None:
         if not 0.0 <= duplicate_prob < 1.0:
             raise ValueError(f"duplicate_prob must be in [0,1), got {duplicate_prob}")
@@ -153,7 +215,7 @@ class Network:
         #: coalesced fan-out checks it between recipients so sparse runs keep
         #: dense's per-delivery stop granularity.
         self.stop_probe: Optional[Callable[[], bool]] = None
-        self.stats = MessageStats()
+        self.stats = MessageStats(track_history=track_history)
 
     @property
     def sim(self) -> Simulator:
@@ -339,9 +401,13 @@ class Network:
             if len(handlers) == self._n:
                 # Fully-wired network (every deployment): registration can't
                 # fail, so skip the per-target membership probe.  Callers
-                # never mutate the target list after dispatch, so a list
-                # passes through without copying.
-                dsts = targets if type(targets) is list else list(targets)
+                # never mutate the target sequence after dispatch, so lists
+                # and tuples (VRF sample slices) pass through uncopied.
+                dsts = (
+                    targets
+                    if type(targets) in (list, tuple)
+                    else list(targets)
+                )
             else:
                 dsts = []
                 for dst in targets:
@@ -351,15 +417,12 @@ class Network:
                         )
                     dsts.append(dst)
             delivery = max(min(now + self._latency.delay(src, src), deadline), floor)
-            if dsts:
-                buckets[delivery] = dsts
-            count = len(dsts)
             self.stats.record_multicast(
-                src, message, count, size=self._message_size(message)
+                src, message, len(dsts), size=self._message_size(message)
             )
-            for time_, dsts in buckets.items():
+            if dsts:
                 self._sim.schedule_at(
-                    time_,
+                    delivery,
                     lambda src=src, message=message, dsts=dsts: (
                         self._deliver_fanout(src, message, dsts)
                     ),
@@ -419,12 +482,7 @@ class Network:
             if bulk is not None and dsts:
                 delivered = bulk(src, message, dsts, self.stop_probe)
                 if delivered >= 0:
-                    if delivered:
-                        stats = self.stats
-                        stats.delivered_by_type[
-                            message_type_name(message)
-                        ] += delivered
-                        stats.delivered_total += delivered
+                    self.stats.record_bulk_delivery(message, delivered)
                     return
             dsts = policy.batch_filter(message, dsts)
         stats = self.stats
@@ -447,6 +505,4 @@ class Network:
         finally:
             # One bulk update per bucket: identical totals to dense's
             # per-delivery increments, at a fraction of the dict traffic.
-            if delivered:
-                stats.delivered_by_type[message_type_name(message)] += delivered
-                stats.delivered_total += delivered
+            stats.record_bulk_delivery(message, delivered)

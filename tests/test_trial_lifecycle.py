@@ -22,7 +22,7 @@ from repro.crypto.context import (
 )
 from repro.crypto.hashing import digest
 from repro.crypto.signatures import MemoizedSignatureScheme, Signed
-from repro.crypto.vrf import MemoizedVRF
+from repro.crypto.vrf import MemoizedVRF, VRFOutput
 from repro.harness.runner import run_hotstuff, run_pbft, run_probft
 from repro.harness.trial import (
     DeploymentSpec,
@@ -186,10 +186,18 @@ class TestMemoizedVerification:
                 memo_out = memo.prove(replica, seed_str, 5)
                 assert plain_out == memo_out
                 assert memo.verify(replica, seed_str, 5, memo_out)
-        # Re-proving hits the cache without changing outputs.
+        # Verifying the very object prove() returned short-circuits on the
+        # prove memo (no shuffle replay) ...
+        assert memo.prove_identity_hits > 0
+        # ... while a value-equal clone takes the full path and replays the
+        # shuffle through the sample memo.
+        clone = VRFOutput(sample=plain_out.sample, proof=plain_out.proof)
+        assert memo.verify(11, "2||prepare", 5, clone)
         assert memo.hits > 0
+        # Re-proving hits the prove cache without changing outputs.
         again = memo.prove(3, "1||prepare", 5)
         assert again == fresh.vrf.prove(3, "1||prepare", 5)
+        assert memo.prove_hits > 0
 
     def test_memoized_signatures_cache_by_identity_not_signature(self):
         """A forged envelope reusing a real signature must still fail:
