@@ -18,13 +18,26 @@ A **batching ablation** re-runs the high-load no-fault cell with
 throughput is strictly higher — the serving claim the replica-side
 batching exists to earn.
 
+A **rotation ablation** re-runs the high-load equivocating-leader cell
+with ``rotate_leaders`` off and on (view-change timeout raised to 20 to
+make the per-slot view-change cost explicit): with fixed leaders every
+slot starts under the equivocator and pays that timeout, with rotation
+only the ~1/n of slots the Byzantine seat actually leads do.  The
+asserted contract is rotated ≥ 3x fixed throughput.
+
+**Open-loop rows** drive the same no-fault and rotated-equivocation
+cells with Poisson arrivals (``arrival="open"``) at the default offered
+rates — the discipline where the equivocator tax shows up as tail
+latency under saturation rather than as reduced (load-adaptive) closed-
+loop throughput.
+
 All cells are single seeded simulations (`run_serving_trial`), so every
 number is deterministic per seed.  Run with ``--quick`` (or
 ``REPRO_BENCH_QUICK=1``) for the 1-core CI profile: a downsized client
 population, same seeds, same assertions, tracked artifact left untouched.
 
 Writes ``BENCH_smr_serving.json`` at the repo root (one row per cell plus
-the ablation) so successive PRs can track the serving frontier.
+the ablations) so successive PRs can track the serving frontier.
 """
 
 from __future__ import annotations
@@ -47,8 +60,29 @@ ARTIFACT = (
 #: across the matrix) so a 1-core CI runner regenerates it on every push.
 QUICK_OVERRIDES = {"num_clients": 8, "requests_per_client": 4}
 
-#: The ablation cell: high-load no-fault, batching off.
+#: The batching ablation cell: high-load no-fault, batching off.
 ABLATION = {"adversary": "none", "load": "high"}
+
+#: The rotation ablation cell: high-load equivocating leader, fixed vs
+#: rotated slot leadership.  The raised view-change timeout makes the
+#: structural difference explicit — fixed leaders pay it on every slot,
+#: rotated ones on ~1/n of slots — and is shared by both arms.
+ROTATION_ABLATION = {
+    "adversary": "equivocating-leader",
+    "load": "high",
+    "timeout": 20.0,
+}
+
+#: Open-loop cells ride the same seeds with the default offered rates.
+OPEN_LOOP_CELLS = [
+    {"adversary": "none", "load": "high", "arrival": "open"},
+    {
+        "adversary": "equivocating-leader",
+        "load": "high",
+        "arrival": "open",
+        "rotate_leaders": True,
+    },
+]
 
 
 def _cells(quick: bool):
@@ -63,6 +97,12 @@ def _cells(quick: bool):
 def compute_serving_matrix(quick: bool):
     rows = [run_serving_trial(spec).row() for spec in _cells(quick)]
     overrides = QUICK_OVERRIDES if quick else {}
+    for cell in OPEN_LOOP_CELLS:
+        rows.append(
+            run_serving_trial(
+                ServingSpec(seed=SEED, **cell, **overrides)
+            ).row()
+        )
     unbatched = run_serving_trial(
         ServingSpec(
             seed=SEED, batch_size=1, pipeline=1, **ABLATION, **overrides
@@ -74,7 +114,20 @@ def compute_serving_matrix(quick: bool):
         for r in rows
         if r["adversary"] == ABLATION["adversary"]
         and r["load"] == ABLATION["load"]
+        and r["arrival"] == "closed"
     )
+    rotation_rows = {}
+    for rotate in (False, True):
+        row = run_serving_trial(
+            ServingSpec(
+                seed=SEED,
+                rotate_leaders=rotate,
+                **ROTATION_ABLATION,
+                **overrides,
+            )
+        ).row()
+        row["cell"] = f"ablation:rotation-{'on' if rotate else 'off'}"
+        rotation_rows[rotate] = row
     return {
         "bench": "smr-serving",
         "n": rows[0]["n"],
@@ -92,14 +145,28 @@ def compute_serving_matrix(quick: bool):
             else None,
             "row": unbatched,
         },
+        "rotation_ablation": {
+            "fixed_throughput": rotation_rows[False]["throughput"],
+            "rotated_throughput": rotation_rows[True]["throughput"],
+            "speedup": round(
+                rotation_rows[True]["throughput"]
+                / rotation_rows[False]["throughput"],
+                2,
+            )
+            if rotation_rows[False]["throughput"]
+            else None,
+            "rows": [rotation_rows[False], rotation_rows[True]],
+        },
     }
 
 
 def _assert_serving_contract(out):
     """The bench's promises, shared by the full and ``--quick`` profiles."""
-    assert len(out["rows"]) == len(SERVING_ADVERSARIES) * len(LOAD_LEVELS)
+    assert len(out["rows"]) == len(SERVING_ADVERSARIES) * len(LOAD_LEVELS) + len(
+        OPEN_LOOP_CELLS
+    )
     for row in out["rows"]:
-        cell = (row["adversary"], row["load"])
+        cell = (row["adversary"], row["load"], row["arrival"])
         assert row["completed"] > 0, cell
         assert row["throughput"] > 0, cell
         assert row["logs_consistent"], cell
@@ -108,6 +175,14 @@ def _assert_serving_contract(out):
     assert (
         ablation["batched_throughput"] > ablation["unbatched_throughput"]
     ), ablation
+    rotation = out["rotation_ablation"]
+    for row in rotation["rows"]:
+        assert row["completed"] > 0 and row["logs_consistent"], row
+    # The headline claim: rotating slot leadership ends the fixed-leader
+    # equivocation tax — the rotated cell serves at >= 3x the fixed one.
+    assert rotation["speedup"] is not None and rotation["speedup"] >= 3.0, (
+        rotation
+    )
 
 
 def _fmt(value):
@@ -115,11 +190,17 @@ def _fmt(value):
 
 
 def _render(out):
-    rows = out["rows"] + [out["ablation"]["row"]]
+    rows = (
+        out["rows"]
+        + [out["ablation"]["row"]]
+        + out["rotation_ablation"]["rows"]
+    )
     return [
         [
             row.get("cell", row["adversary"]),
             row["load"],
+            "open" if row.get("arrival") == "open" else "closed",
+            "on" if row.get("rotate_leaders") else "off",
             f"{row['batch_size']}/{row['pipeline']}",
             row["completed"],
             row["timed_out"],
@@ -147,6 +228,8 @@ def test_bench_smr_serving(benchmark, report, bench_quick):
             [
                 "adversary",
                 "load",
+                "arrival",
+                "rot",
                 "batch/pipe",
                 "completed",
                 "timed out",
@@ -158,7 +241,7 @@ def test_bench_smr_serving(benchmark, report, bench_quick):
             ],
             _render(out),
             title=(
-                f"BENCH-SMR-SERVING: closed-loop serving matrix "
+                f"BENCH-SMR-SERVING: serving matrix "
                 f"(n={out['n']}, f={out['f']}, seed={SEED}, "
                 f"profile={out['profile']})\n"
                 + (
@@ -168,6 +251,8 @@ def test_bench_smr_serving(benchmark, report, bench_quick):
                 )
                 + f"; batching speedup on high-load cell: "
                 f"{out['ablation']['speedup']}x"
+                + f"; rotation speedup on equivocating high-load cell: "
+                f"{out['rotation_ablation']['speedup']}x"
             ),
         )
     )

@@ -176,15 +176,30 @@ def cmd_serve(args) -> int:
         "seed",
         "timeout",
         "max_time",
+        "offered_rate",
     ):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
     if args.matrix:
-        specs = serving_cells(**overrides)
+        # --rotate-leaders / --arrival both add whole axes to the matrix.
+        rotations = [False, True] if args.rotate_leaders else [False]
+        arrivals = (
+            ["closed", "open"] if args.arrival == "both" else [args.arrival]
+        )
+        specs = serving_cells(rotations=rotations, arrivals=arrivals, **overrides)
     else:
+        if args.arrival == "both":
+            print("--arrival both requires --matrix", file=sys.stderr)
+            return 2
         specs = [
-            ServingSpec(adversary=args.adversary, load=args.load, **overrides)
+            ServingSpec(
+                adversary=args.adversary,
+                load=args.load,
+                rotate_leaders=args.rotate_leaders,
+                arrival=args.arrival,
+                **overrides,
+            )
         ]
     results = [run_serving_trial(spec) for spec in specs]
     if args.json:
@@ -193,6 +208,8 @@ def cmd_serve(args) -> int:
         headers = [
             "adversary",
             "load",
+            "rot",
+            "arrival",
             "completed",
             "timed_out",
             "throughput",
@@ -205,6 +222,8 @@ def cmd_serve(args) -> int:
             [
                 r.adversary,
                 r.load,
+                "on" if r.rotate_leaders else "off",
+                r.arrival,
                 f"{r.completed}/{r.issued}",
                 r.timed_out,
                 round(r.throughput, 3),
@@ -220,7 +239,7 @@ def cmd_serve(args) -> int:
                 headers,
                 rows,
                 title=(
-                    "SMR serving: closed-loop clients "
+                    "SMR serving "
                     f"(adversaries {', '.join(sorted(SERVING_ADVERSARIES))}; "
                     f"loads {', '.join(sorted(LOAD_LEVELS))})"
                 ),
@@ -510,7 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="closed-loop SMR serving benchmark (load levels x adversaries)",
+        help=(
+            "SMR serving benchmark (adversaries x loads, closed- or "
+            "open-loop arrivals, optional leader rotation)"
+        ),
     )
     p_serve.add_argument(
         "--adversary",
@@ -541,6 +563,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=None)
     p_serve.add_argument("--timeout", type=float, default=None)
     p_serve.add_argument("--max-time", type=float, default=None)
+    p_serve.add_argument(
+        "--rotate-leaders",
+        action="store_true",
+        help=(
+            "rotate slot leadership (view-1 leader of slot s is (s+1) mod n); "
+            "with --matrix, adds rotation off/on as a matrix axis"
+        ),
+    )
+    p_serve.add_argument(
+        "--arrival",
+        choices=["closed", "open", "both"],
+        default="closed",
+        help=(
+            "arrival discipline: closed loop (think/window) or open-loop "
+            "Poisson arrivals; 'both' adds the axis to --matrix"
+        ),
+    )
+    p_serve.add_argument(
+        "--offered-rate",
+        type=float,
+        default=None,
+        help="aggregate open-loop arrival rate, requests per simulated second",
+    )
     p_serve.add_argument(
         "--json", action="store_true", help="emit JSON rows instead of a table"
     )

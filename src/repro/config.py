@@ -113,6 +113,12 @@ class ProtocolConfig:
     #: its own domain so messages cannot be replayed across consensus
     #: instances.
     seed_domain: str = ""
+    #: Rotation offset added to the round-robin leader schedule: the leader
+    #: of view ``v`` is ``(v − 1 + leader_offset) mod n``.  Single-shot runs
+    #: use 0 (the paper's schedule, replica 0 leads view 1); the SMR layer's
+    #: ``rotate_leaders`` mode gives slot ``s`` offset ``(s + 1) mod n`` so
+    #: slot leadership rotates and no replica is structurally privileged.
+    leader_offset: int = 0
 
     def __post_init__(self) -> None:
         if self.n < 4:
@@ -123,6 +129,11 @@ class ProtocolConfig:
             raise ConfigError(f"f must be >= 0, got {f}")
         if 3 * f >= self.n:
             raise ConfigError(f"requires f < n/3, got n={self.n}, f={f}")
+        if not 0 <= self.leader_offset < self.n:
+            raise ConfigError(
+                f"leader_offset must be in [0, n), got {self.leader_offset} "
+                f"with n={self.n}"
+            )
         if self.l < 1.0:
             raise ConfigError(f"l must be >= 1, got {self.l}")
         if self.o < 1.0:

@@ -8,12 +8,13 @@
   simulated network and run a consensus instance.
 """
 
-from .leader import leader_of_view, compute_proposal, mode_values
+from .leader import leader_of, leader_of_view, compute_proposal, mode_values
 from .predicates import safe_proposal, valid_new_leader
 from .replica import ProBFTReplica
 from .protocol import ProBFTDeployment
 
 __all__ = [
+    "leader_of",
     "leader_of_view",
     "compute_proposal",
     "mode_values",

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..quorum.certificates import validate_prepared_certificate
-from .leader import leader_of_view
+from .leader import leader_of
 from .protocol import ProBFTDeployment
 from .replica import ProBFTReplica
 
@@ -100,7 +100,7 @@ class ExecutionAuditor:
                 config=config,
                 signatures=crypto.signatures,
                 vrf=crypto.vrf,
-                leader_of_view=leader_of_view,
+                leader_of_view=None,
             )
             if not valid:
                 report.add(
@@ -118,7 +118,7 @@ class ExecutionAuditor:
             if decision.view < 1:
                 report.add(f"replica {replica_id}: decision in view 0")
                 continue
-            leader = leader_of_view(decision.view, config.n)
+            leader = leader_of(decision.view, config)
             if not 0 <= leader < config.n:
                 report.add(
                     f"replica {replica_id}: view {decision.view} has no leader"

@@ -34,6 +34,18 @@ def leader_of_view(view: View, n: int) -> ReplicaId:
     return (view - 1) % n
 
 
+def leader_of(view: View, config) -> ReplicaId:
+    """Config-aware leader schedule: ``(view − 1 + leader_offset) mod n``.
+
+    With the default ``leader_offset = 0`` this is exactly the paper's
+    ``leader_of_view``; the SMR layer's rotating mode sets a per-slot offset
+    so every slot's view-1 leader is a different replica.
+    """
+    if view < 1:
+        raise ValueError(f"views are numbered from 1, got {view}")
+    return (view - 1 + config.leader_offset) % config.n
+
+
 def mode_values(values: Iterable[Value]) -> FrozenSet[Value]:
     """The set of most frequent values (ties included); empty for no input."""
     counts = Counter(values)

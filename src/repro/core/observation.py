@@ -58,7 +58,7 @@ from ..messages.probft import Commit, Prepare, extract_statement
 from ..net.gossip import GossipEnvelope
 from ..net.sparse import SparseDeliveryPolicy
 from ..types import ReplicaId, Value, View
-from .leader import leader_of_view
+from .leader import leader_of
 
 
 class SampleObservationPolicy(SparseDeliveryPolicy):
@@ -80,6 +80,7 @@ class SampleObservationPolicy(SparseDeliveryPolicy):
     ) -> None:
         self._domain = config.seed_domain
         self._n = config.n
+        self._config = config
         self._byzantine = frozenset(byzantine_ids)
         self._replicas = replicas
         self._value_seen: Dict[View, Value] = {}
@@ -107,8 +108,8 @@ class SampleObservationPolicy(SparseDeliveryPolicy):
         view = inner.view
         if view in self._equivocal:
             return
-        if view < 1 or getattr(statement, "signer", None) != leader_of_view(
-            view, self._n
+        if view < 1 or getattr(statement, "signer", None) != leader_of(
+            view, self._config
         ):
             return
         seen = self._value_seen.get(view)

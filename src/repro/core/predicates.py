@@ -28,7 +28,7 @@ from ..messages.base import ProposalStatement
 from ..messages.probft import NewLeader, Propose
 from ..quorum.certificates import validate_prepared_certificate
 from ..types import ReplicaId, ValidPredicate, View
-from .leader import leader_of_view, max_prepared_view, mode_values
+from .leader import leader_of, max_prepared_view, mode_values
 
 LeaderFn = Callable[[View, int], ReplicaId]
 
@@ -38,9 +38,14 @@ def valid_new_leader(
     target_view: View,
     config: ProtocolConfig,
     crypto: CryptoContext,
-    leader_fn: LeaderFn = leader_of_view,
+    leader_fn: Optional[LeaderFn] = None,
 ) -> bool:
-    """``validNewLeader`` over a signed NewLeader message for ``target_view``."""
+    """``validNewLeader`` over a signed NewLeader message for ``target_view``.
+
+    ``leader_fn`` defaults to the config's offset-aware round-robin schedule
+    (``leader_of``); pass an explicit ``(view, n) -> id`` callable to audit
+    against a different schedule.
+    """
     if not crypto.signatures.verify(signed):
         return False
     msg = signed.payload
@@ -80,7 +85,7 @@ def safe_proposal(
     config: ProtocolConfig,
     crypto: CryptoContext,
     valid: Optional[ValidPredicate] = None,
-    leader_fn: LeaderFn = leader_of_view,
+    leader_fn: Optional[LeaderFn] = None,
 ) -> bool:
     """``safeProposal`` over a signed Propose message."""
     if not crypto.signatures.verify(signed):
@@ -91,7 +96,9 @@ def safe_proposal(
     view = propose.view
     if view < 1:
         return False
-    expected_leader = leader_fn(view, config.n)
+    expected_leader = (
+        leader_fn(view, config.n) if leader_fn is not None else leader_of(view, config)
+    )
     if signed.signer != expected_leader:
         return False
     # The inner statement must be consistent and signed by the same leader.

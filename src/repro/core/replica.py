@@ -37,7 +37,7 @@ from ..crypto.vrf import VRFOutput, phase_seed
 from ..messages.base import ProposalStatement
 from ..messages.probft import Commit, NewLeader, Prepare, Propose, extract_statement
 from ..net.transport import Transport
-from .leader import leader_of_view
+from .leader import leader_of
 from ..quorum.deterministic import DeterministicQuorumCollector
 from ..quorum.probabilistic import ProbabilisticQuorumCollector
 from ..quorum.probabilistic import _Bucket as _QuorumBucket
@@ -107,7 +107,7 @@ def prevalidate_vote(
     domain_ok = inner.domain == config.seed_domain
     leader_ok = (
         view >= 1
-        and getattr(statement, "signer", None) == leader_of_view(view, config.n)
+        and getattr(statement, "signer", None) == leader_of(view, config)
     )
     is_prepare = isinstance(payload, Prepare)
     valid = (
@@ -924,7 +924,7 @@ class ProBFTReplica:
         )
 
     def _leader(self, view: View) -> ReplicaId:
-        return leader_of_view(view, self.config.n)
+        return leader_of(view, self.config)
 
     def _sign(self, payload: object) -> Signed:
         return self._crypto.signatures.sign(self.id, payload)

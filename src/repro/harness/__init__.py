@@ -284,11 +284,32 @@ Choosing the knobs:
   view-change timeout before an honest leader serves it); the flooder is
   absorbed by signature rejection and leaves the latency profile
   bit-identical to the no-fault cell.
+* **Leadership rotation** (``rotate_leaders=True``) — by default every
+  slot's view-1 leader is replica 0, so a single equivocating seat taxes
+  *every* slot.  With rotation on, slot ``s`` opens under leader
+  ``(s + 1) mod n`` (each slot's :class:`~repro.config.ProtocolConfig`
+  carries a ``leader_offset``), so a Byzantine seat leads — and can
+  attack — only ~1/n of slots: the attacked high-load cell recovers
+  **≥ 3x** throughput (the committed rotation ablation).  Rotation off is
+  bit-identical to the historical fixed-leader schedule.
+* **Arrival discipline** (``arrival="closed"``/``"open"``) — closed-loop
+  clients wait for completions before thinking and resubmitting, so
+  offered load adapts to service rate; open-loop clients pre-draw Poisson
+  arrivals at ``offered_rate`` aggregate requests per sim-second
+  (defaults per load level in :data:`~repro.smr.workload
+  .OPEN_LOOP_RATES`) and submit on schedule regardless.  Open loop is the
+  discipline where a slow service shows up as queueing delay in the
+  latency tail instead of quietly throttling throughput — and the
+  per-client-id apply index keeps populations in the thousands cheap
+  (dispatch is O(1) per applied command, not O(clients)).
 
-``repro serve [--matrix]`` is the CLI face; ``tests/test_smr_serving.py``
-pins golden-seed determinism (same spec + seed → bit-identical latency
-tuples on any backend), and ``benchmarks/bench_smr_serving.py`` writes
-the committed scoreboard.
+``repro serve [--matrix] [--rotate-leaders] [--arrival {closed,open,both}]``
+is the CLI face; ``tests/test_smr_serving.py`` and
+``tests/test_smr_rotation.py`` pin golden-seed determinism (same spec +
+seed → bit-identical latency tuples on any backend, rotate-off cells
+bit-identical to the committed artifact rows), and
+``benchmarks/bench_smr_serving.py`` writes the committed scoreboard
+including the rotation ablation and open-loop rows.
 
 Adversary dispatch and cost columns
 -----------------------------------

@@ -153,11 +153,12 @@ class LatencyAccumulator:
     bounded by the request budget, so the materialized list is fine.
     """
 
-    __slots__ = ("latencies", "incomplete")
+    __slots__ = ("latencies", "incomplete", "recovered")
 
     def __init__(self) -> None:
         self.latencies: List[float] = []
         self.incomplete = 0
+        self.recovered = 0
 
     def add(self, latency: Optional[float]) -> None:
         """Record one request: its latency, or ``None`` if it never completed."""
@@ -165,6 +166,16 @@ class LatencyAccumulator:
             self.incomplete += 1
         else:
             self.latencies.append(latency)
+
+    def add_recovered(self) -> None:
+        """Record a request completed from replayed history.
+
+        Recovered requests carry a meaningless zero latency (completion was
+        observed, not measured), so they are counted separately and never
+        enter the distribution — folding them in would silently drag p50
+        toward zero in any trial with late-attached clients.
+        """
+        self.recovered += 1
 
     def extend(self, latencies) -> "LatencyAccumulator":
         for latency in latencies:
@@ -174,6 +185,7 @@ class LatencyAccumulator:
     def merge(self, other: "LatencyAccumulator") -> "LatencyAccumulator":
         self.latencies.extend(other.latencies)
         self.incomplete += other.incomplete
+        self.recovered += other.recovered
         return self
 
     @property
@@ -182,7 +194,7 @@ class LatencyAccumulator:
 
     @property
     def total(self) -> int:
-        return len(self.latencies) + self.incomplete
+        return len(self.latencies) + self.incomplete + self.recovered
 
     @property
     def mean(self) -> Optional[float]:
@@ -210,6 +222,7 @@ class LatencyAccumulator:
         return {
             "completed": self.completed,
             "incomplete": self.incomplete,
+            "recovered": self.recovered,
             "mean_latency": self.mean,
             "p50_latency": self.p50,
             "p99_latency": self.p99,

@@ -48,7 +48,7 @@ def validate_prepared_certificate(
     config: ProtocolConfig,
     signatures: SignatureScheme,
     vrf: VRF,
-    leader_of_view,
+    leader_of_view=None,
 ) -> bool:
     """Implements ``prepared(C, v, x, j)`` over raw signed messages.
 
@@ -59,11 +59,15 @@ def validate_prepared_certificate(
         holder: the replica ``j`` that claims to hold the certificate.
         config: protocol parameters (supplies ``q`` and sample size).
         signatures / vrf: verification services.
-        leader_of_view: the ``leader(v)`` function.
+        leader_of_view: the ``leader(v)`` function; ``None`` uses the
+            config's offset-aware round-robin schedule.
     """
     if len(cert) < config.q:
         return False
-    expected_leader = leader_of_view(view, config.n)
+    if leader_of_view is not None:
+        expected_leader = leader_of_view(view, config.n)
+    else:
+        expected_leader = (view - 1 + config.leader_offset) % config.n
     seed = phase_seed(view, "prepare", config.seed_domain)
     seen_senders = set()
     statement_value: Optional[Value] = value

@@ -22,13 +22,27 @@ instead of hanging forever.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..harness.metrics import LatencyAccumulator, percentile
 from ..types import ReplicaId, Value
 from .encoding import commands_in, decode_request, encode_request
 from .service import SMRDeployment
+
+
+def majority_slot(history: Mapping[ReplicaId, int]) -> int:
+    """The slot confirmed by the most replicas (ties break to the smallest).
+
+    A request's ack history maps replica → the slot that replica applied it
+    in.  Correct replicas agree, so the majority slot is the authoritative
+    one; taking an arbitrary entry instead would let a single Byzantine
+    replica reporting a divergent slot poison the record.
+    """
+    counts = Counter(history.values())
+    top = max(counts.values())
+    return min(slot for slot, count in counts.items() if count == top)
 
 
 @dataclass
@@ -88,15 +102,17 @@ class SMRClient:
         self._requests: Dict[Tuple[int, int], RequestRecord] = {}
         self._order: List[Tuple[int, int]] = []
         self._ack_threshold = deployment.config.f + 1
-        # Acks seen for request ids nobody here is (yet) tracking: the
-        # replayed pre-attach history plus live applies for other clients'
-        # requests.  Keyed by request id -> {replica: slot}.
+        # Acks seen for this client's request ids before the matching
+        # ``submit`` call: the replayed pre-attach history plus live applies
+        # for not-yet-resubmitted requests.  Keyed by request id ->
+        # {replica: slot}.
         self._history: Dict[Tuple[int, int], Dict[ReplicaId, int]] = {}
-        # Chain onto the deployment's apply recorder.
-        self._previous_recorder = deployment._record_apply
-        deployment._record_apply = self._on_apply  # type: ignore[method-assign]
-        for replica in deployment.replicas.values():
-            replica._on_apply = deployment._record_apply
+        # Register for this client id's applies: the deployment decodes each
+        # command once and dispatches to the owning client, so attaching
+        # thousands of clients costs O(1) per apply instead of the old
+        # chained-recorder fan-out where every client re-decoded every
+        # command.
+        deployment.watch_applies(self.client_id, self._on_request_apply)
         # Late-attach replay: applies recorded before this client existed.
         for replica_id, entries in deployment.applied.items():
             for slot, value in entries:
@@ -138,7 +154,7 @@ class SMRClient:
         if history is not None and len(history) >= self._ack_threshold:
             # Ordered while we were away; complete from replayed history.
             record.acked_by = set(history)
-            record.slot = next(iter(history.values()))
+            record.slot = majority_slot(history)
             record.completed_at = now
             record.recovered = True
         else:
@@ -146,7 +162,7 @@ class SMRClient:
                 return None
             if history is not None:
                 record.acked_by = set(history)
-                record.slot = next(iter(history.values()))
+                record.slot = majority_slot(history)
         self._requests[request_id] = record
         self._order.append(request_id)
         self._next_seq = max(self._next_seq, seq + 1)
@@ -157,27 +173,30 @@ class SMRClient:
     def _note_history(self, replica: ReplicaId, slot: int, value: Value) -> None:
         for command in commands_in(value):
             decoded = decode_request(command)
-            if decoded is None:
+            if decoded is None or decoded[0] != self.client_id:
                 continue
-            client_id, seq, _payload = decoded
-            self._history.setdefault((client_id, seq), {})[replica] = slot
+            _client_id, seq, _payload = decoded
+            self._history.setdefault((self.client_id, seq), {})[replica] = slot
 
-    def _on_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
-        self._previous_recorder(replica, slot, value)
-        self._note_history(replica, slot, value)
-        for command in commands_in(value):
-            decoded = decode_request(command)
-            if decoded is None:
-                continue
-            record = self._requests.get((decoded[0], decoded[1]))
-            if record is None or record.completed:
-                continue
-            record.acked_by.add(replica)
-            record.slot = slot
-            if len(record.acked_by) >= self._ack_threshold:
-                record.completed_at = self._deployment.sim.now
-                if self.on_complete is not None:
-                    self.on_complete(record)
+    def _on_request_apply(
+        self,
+        replica: ReplicaId,
+        slot: int,
+        command: Value,
+        decoded: Tuple[int, int, Value],
+    ) -> None:
+        client_id, seq, _payload = decoded
+        history = self._history.setdefault((client_id, seq), {})
+        history[replica] = slot
+        record = self._requests.get((client_id, seq))
+        if record is None or record.completed:
+            return
+        record.acked_by.add(replica)
+        record.slot = majority_slot(history)
+        if len(record.acked_by) >= self._ack_threshold:
+            record.completed_at = self._deployment.sim.now
+            if self.on_complete is not None:
+                self.on_complete(record)
 
     # ------------------------------------------------------------------
     @property
@@ -199,13 +218,25 @@ class SMRClient:
         """Count of submitted requests that never completed."""
         return len(self.incomplete_requests())
 
+    @property
+    def recovered(self) -> int:
+        """Count of requests completed from replayed pre-attach history."""
+        return sum(1 for r in self.requests if r.recovered)
+
     def all_completed(self) -> bool:
         return all(r.completed for r in self._requests.values())
 
     # ------------------------------------------------------------------
     def latencies(self) -> List[float]:
-        """Per-request latencies of completed requests, submission order."""
-        return [r.latency for r in self.requests if r.completed]
+        """Per-request latencies of completed requests, submission order.
+
+        Recovered requests (completed from replayed history with a
+        meaningless zero latency) are excluded — they would silently drag
+        p50 toward zero in any trial with late-attached clients.
+        """
+        return [
+            r.latency for r in self.requests if r.completed and not r.recovered
+        ]
 
     def mean_latency(self) -> Optional[float]:
         """Mean end-to-end latency, or ``None`` if nothing completed.
@@ -232,5 +263,8 @@ class SMRClient:
         """JSON-ready latency/completion summary (explicit ``None`` gaps)."""
         acc = LatencyAccumulator()
         for record in self.requests:
-            acc.add(record.latency)
+            if record.recovered:
+                acc.add_recovered()
+            else:
+                acc.add(record.latency)
         return acc.summary()

@@ -46,6 +46,18 @@ from .log import DecisionLog
 SLOT_WINDOW = 4
 
 
+def slot_leader_offset(slot: int, n: int, rotate_leaders: bool) -> int:
+    """The ``leader_offset`` carried by slot ``slot``'s protocol config.
+
+    Fixed mode (the default) gives every slot offset 0 — replica 0 leads
+    view 1 of every slot, the historical behaviour.  Rotating mode gives
+    slot ``s`` offset ``(s + 1) mod n`` so its view-``v`` leader is
+    ``(v + s) mod n``: slot leadership round-robins and a Byzantine seat
+    only leads ~1/n of the slots.
+    """
+    return (slot + 1) % n if rotate_leaders else 0
+
+
 @dataclass(frozen=True)
 class SlotEnvelope(CanonicalMessage):
     """Wraps one slot's protocol message for transport-level multiplexing."""
@@ -121,11 +133,17 @@ class SMRReplica:
         batch_size: int = 1,
         max_pending: Optional[int] = None,
         eager_slots: bool = True,
+        rotate_leaders: bool = False,
     ) -> None:
         if config.seed_domain:
             raise ValueError(
                 "SMR manages seed domains itself; pass a config with "
                 "seed_domain=''"
+            )
+        if config.leader_offset:
+            raise ValueError(
+                "SMR manages leader offsets itself (rotate_leaders=True); "
+                "pass a config with leader_offset=0"
             )
         self.id = replica_id
         self.config = config
@@ -143,6 +161,7 @@ class SMRReplica:
         self.pipeline = pipeline
         self.batch_size = batch_size
         self.max_pending = max_pending
+        self.rotate_leaders = rotate_leaders
         #: Eager mode (the default, the original behaviour) keeps ``pipeline``
         #: slots open at all times, proposing NOOP when idle — right for
         #: fixed-workload runs driven to ``all_applied``.  Demand-driven mode
@@ -229,7 +248,10 @@ class SMRReplica:
         if slot > self.num_slots:
             return None
         my_value = self._next_proposal(slot)
-        slot_config = self.config.with_params(seed_domain=f"slot-{slot}")
+        slot_config = self.config.with_params(
+            seed_domain=f"slot-{slot}",
+            leader_offset=slot_leader_offset(slot, self.config.n, self.rotate_leaders),
+        )
         replica = ProBFTReplica(
             replica_id=self.id,
             config=slot_config,
@@ -338,6 +360,7 @@ class ByzantineSlotMultiplexer:
         num_slots: int,
         slot_factory: Callable[[int, ProtocolConfig, CryptoContext, object], object],
         pipeline: int = 1,
+        rotate_leaders: bool = False,
     ) -> None:
         self.id = replica_id
         self.config = config
@@ -345,6 +368,7 @@ class ByzantineSlotMultiplexer:
         self._transport = transport
         self.num_slots = num_slots
         self.pipeline = max(1, pipeline)
+        self.rotate_leaders = rotate_leaders
         self._slot_factory = slot_factory
         self._slots: Dict[int, object] = {}
         self._started = False
@@ -371,7 +395,10 @@ class ByzantineSlotMultiplexer:
             return self._slots[slot]
         if slot > self.num_slots:
             return None
-        slot_config = self.config.with_params(seed_domain=f"slot-{slot}")
+        slot_config = self.config.with_params(
+            seed_domain=f"slot-{slot}",
+            leader_offset=slot_leader_offset(slot, self.config.n, self.rotate_leaders),
+        )
         endpoint = self._slot_factory(
             slot,
             slot_config,

@@ -23,6 +23,7 @@ from ..net.transport import Transport
 from ..sync.timeouts import FixedTimeout, TimeoutPolicy
 from ..types import ReplicaId, Value
 from .app import StateMachine
+from .encoding import commands_in, decode_request
 from .replica import ByzantineSlotMultiplexer, SMRReplica
 
 AppFactory = Callable[[], StateMachine]
@@ -69,9 +70,11 @@ class SMRDeployment:
         batch_size: int = 1,
         max_pending: Optional[int] = None,
         eager_slots: bool = True,
+        rotate_leaders: bool = False,
     ) -> None:
         self.config = config
         self.num_slots = num_slots
+        self.rotate_leaders = rotate_leaders
         self.sim = Simulator()
         self.network = Network(
             self.sim,
@@ -93,6 +96,15 @@ class SMRDeployment:
             raise ValueError("too many Byzantine replicas")
         self.byzantine_ids: FrozenSet[ReplicaId] = frozenset(faulty)
         self._next_client_id = 0
+        # Request-apply watchers, keyed by client id.  Each apply decodes
+        # each command once here and dispatches to the owning client's
+        # watcher — O(1) per command — instead of every attached client
+        # re-decoding every command (the old chained-recorder scheme was
+        # O(clients · applies), the ceiling that kept trials under ~100
+        # clients).
+        self._apply_watchers: Dict[
+            int, List[Callable[[ReplicaId, int, Value, Tuple[int, int, Value]], None]]
+        ] = {}
 
         self.replicas: Dict[ReplicaId, SMRReplica] = {}
         self.byzantine_endpoints: Dict[ReplicaId, ByzantineSlotMultiplexer] = {}
@@ -113,6 +125,7 @@ class SMRDeployment:
                 batch_size=batch_size,
                 max_pending=max_pending,
                 eager_slots=eager_slots,
+                rotate_leaders=rotate_leaders,
             )
             self.network.register(r, replica.on_message)
             self.replicas[r] = replica
@@ -130,6 +143,7 @@ class SMRDeployment:
                 num_slots=num_slots,
                 slot_factory=factory,
                 pipeline=pipeline,
+                rotate_leaders=rotate_leaders,
             )
             self.network.register(r, endpoint.on_message)
             self.byzantine_endpoints[r] = endpoint
@@ -137,6 +151,26 @@ class SMRDeployment:
 
     def _record_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
         self.applied.setdefault(replica, []).append((slot, value))
+        if not self._apply_watchers:
+            return
+        for command in commands_in(value):
+            decoded = decode_request(command)
+            if decoded is None:
+                continue
+            for watcher in self._apply_watchers.get(decoded[0], ()):
+                watcher(replica, slot, command, decoded)
+
+    def watch_applies(
+        self,
+        client_id: int,
+        watcher: Callable[[ReplicaId, int, Value, Tuple[int, int, Value]], None],
+    ) -> None:
+        """Subscribe to applies of requests enveloped for ``client_id``.
+
+        ``watcher(replica, slot, command, (client_id, seq, payload))`` fires
+        once per replica apply of each matching request.
+        """
+        self._apply_watchers.setdefault(client_id, []).append(watcher)
 
     # ------------------------------------------------------------------
     def allocate_client_id(self) -> int:

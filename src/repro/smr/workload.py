@@ -41,7 +41,7 @@ from ..net.latency import ConstantLatency
 from ..sync.timeouts import FixedTimeout
 from ..types import ReplicaId, Value
 from .app import CounterApp
-from .client import RequestRecord
+from .client import RequestRecord, majority_slot
 from .encoding import commands_in, decode_request, encode_request
 from .service import SMRDeployment
 
@@ -56,6 +56,7 @@ __all__ = [
     "serving_trials",
     "SERVING_ADVERSARIES",
     "LOAD_LEVELS",
+    "OPEN_LOOP_RATES",
 ]
 
 
@@ -64,14 +65,23 @@ __all__ = [
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Shape of a closed-loop client population.
+    """Shape of a client population.
 
-    ``think_time`` is the mean of each client's exponential think-time
-    distribution (0 disables thinking: the client resubmits the instant a
-    request completes).  ``window`` is the per-client in-flight cap — a
-    client keeps up to ``window`` requests outstanding.  ``retry_backoff``
-    is the delay before retrying a submission the deployment refused
-    (backpressure); ``None`` means one think-time sample.
+    Two arrival disciplines:
+
+    * ``arrival="closed"`` (the default): each client keeps up to ``window``
+      requests outstanding and thinks for an exponential time (mean
+      ``think_time``; 0 disables thinking) between a completion and the next
+      submission — offered load adapts to service rate.
+    * ``arrival="open"``: each client pre-draws Poisson arrivals at rate
+      ``offered_rate / num_clients`` (aggregate ``offered_rate`` requests
+      per simulated second) and submits on schedule regardless of
+      completions — the discipline that exposes latency under saturation
+      instead of letting slow service throttle the load.
+
+    ``retry_backoff`` is the delay before retrying a submission the
+    deployment refused (backpressure); ``None`` means one think-time
+    sample.  Requests are never dropped in either mode.
     """
 
     num_clients: int = 16
@@ -79,6 +89,8 @@ class WorkloadSpec:
     think_time: float = 4.0
     window: int = 1
     retry_backoff: Optional[float] = None
+    arrival: str = "closed"
+    offered_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -91,6 +103,16 @@ class WorkloadSpec:
             raise ValueError(f"think_time must be >= 0, got {self.think_time}")
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.arrival not in ("closed", "open"):
+            raise ValueError(
+                f"arrival must be 'closed' or 'open', got {self.arrival!r}"
+            )
+        if self.arrival == "open":
+            if self.offered_rate is None or self.offered_rate <= 0:
+                raise ValueError(
+                    "open-loop arrivals need offered_rate > 0, got "
+                    f"{self.offered_rate!r}"
+                )
 
     @property
     def total_requests(self) -> int:
@@ -108,13 +130,23 @@ class _ClientState:
 
 
 class WorkloadGenerator:
-    """Drives a closed-loop client population against a deployment.
+    """Drives a client population (closed- or open-loop) against a deployment.
 
-    Construct against a (not yet run) deployment, then :meth:`run`.  Uses
-    one shared apply hook for the whole population — a per-client
-    :class:`~repro.smr.client.SMRClient` chain would walk thousands of
-    handlers per apply event — but tracks each request with the same
-    :class:`~repro.smr.client.RequestRecord` lifecycle.
+    Construct against a (not yet run) deployment, then :meth:`run`.  Each
+    client registers a request-apply watcher with the deployment, which
+    decodes every applied command once and dispatches it to the owning
+    client in O(1) — the indexing that lifts the population ceiling to
+    thousands of clients (the old chained-recorder scheme re-decoded every
+    command in every client, O(clients · applies)).  Requests are tracked
+    with the same :class:`~repro.smr.client.RequestRecord` lifecycle as
+    :class:`~repro.smr.client.SMRClient`.
+
+    Like ``SMRClient``, a generator built against a deployment that already
+    ran replays the recorded applies: a request whose ``(client_id, seq)``
+    envelope was ordered on ``f + 1`` replicas before this generator
+    attached completes from history with ``recovered=True`` instead of
+    being resubmitted.  On a fresh deployment the replay is empty and draws
+    no randomness, so generator identity is unaffected.
     """
 
     def __init__(
@@ -130,6 +162,7 @@ class WorkloadGenerator:
         self._records: Dict[Tuple[int, int], RequestRecord] = {}
         self._order: List[Tuple[int, int]] = []
         self._completed = 0
+        self._recovered = 0
         self._retries = 0
         self._clients = [
             _ClientState(
@@ -141,11 +174,21 @@ class WorkloadGenerator:
             for i in range(spec.num_clients)
         ]
         self._by_id = {client.client_id: client for client in self._clients}
-        # Chain onto the deployment's apply recorder (same seam as SMRClient).
-        self._previous_recorder = deployment._record_apply
-        deployment._record_apply = self._on_apply  # type: ignore[method-assign]
-        for replica in deployment.replicas.values():
-            replica._on_apply = deployment._record_apply
+        for client in self._clients:
+            deployment.watch_applies(client.client_id, self._on_request_apply)
+        # Late-attach replay: applies recorded before this generator existed
+        # (empty — and free — on a fresh deployment).
+        self._history: Dict[Tuple[int, int], Dict[ReplicaId, int]] = {}
+        own_ids = set(self._by_id)
+        for replica_id, entries in deployment.applied.items():
+            for slot, value in entries:
+                for command in commands_in(value):
+                    decoded = decode_request(command)
+                    if decoded is None or decoded[0] not in own_ids:
+                        continue
+                    self._history.setdefault(
+                        (decoded[0], decoded[1]), {}
+                    )[replica_id] = slot
         self._started = False
 
     # ------------------------------------------------------------------
@@ -159,10 +202,21 @@ class WorkloadGenerator:
         return client.rng.expovariate(1.0 / self.spec.think_time)
 
     def start(self) -> None:
-        """Schedule every client's initial window of submissions."""
+        """Schedule the initial submissions (closed) or all arrivals (open)."""
         if self._started:
             return
         self._started = True
+        if self.spec.arrival == "open":
+            # Poisson arrivals, pre-drawn per client: cumulative exponential
+            # inter-arrival times at rate offered_rate / num_clients, fired
+            # on schedule regardless of completions.
+            per_client_rate = self.spec.offered_rate / self.spec.num_clients
+            for client in self._clients:
+                at = 0.0
+                for _ in range(self.spec.requests_per_client):
+                    at += client.rng.expovariate(per_client_rate)
+                    self._schedule_issue(client, at)
+            return
         for client in self._clients:
             first = min(self.spec.window, self.spec.requests_per_client)
             for _ in range(first):
@@ -177,6 +231,30 @@ class WorkloadGenerator:
         seq = client.next_seq
         payload = self.payload_for(client.client_id, seq)
         command = encode_request(client.client_id, seq, payload)
+        history = self._history.get((client.client_id, seq))
+        if history is not None and len(history) >= self._ack_threshold:
+            # Ordered before this generator attached: complete from replayed
+            # history without resubmitting (no RNG draws on this path).
+            client.next_seq += 1
+            client.issued += 1
+            now = self._deployment.sim.now
+            record = RequestRecord(
+                client_id=client.client_id,
+                seq=seq,
+                payload=payload,
+                command=command,
+                submitted_at=now,
+                acked_by=set(history),
+                completed_at=now,
+                slot=majority_slot(history),
+                recovered=True,
+            )
+            self._records[(client.client_id, seq)] = record
+            self._order.append((client.client_id, seq))
+            self._completed += 1
+            self._recovered += 1
+            self._on_request_complete(record)
+            return
         if not self._deployment.submit_to_all(command):
             # Backpressure: the deployment refused wholesale; back off.  A
             # zero think time falls back to one simulated time unit —
@@ -202,23 +280,26 @@ class WorkloadGenerator:
         self._records[(client.client_id, seq)] = record
         self._order.append((client.client_id, seq))
 
-    def _on_apply(self, replica: ReplicaId, slot: int, value: Value) -> None:
-        self._previous_recorder(replica, slot, value)
-        for command in commands_in(value):
-            decoded = decode_request(command)
-            if decoded is None:
-                continue
-            record = self._records.get((decoded[0], decoded[1]))
-            if record is None or record.completed:
-                continue
-            record.acked_by.add(replica)
-            record.slot = slot
-            if len(record.acked_by) >= self._ack_threshold:
-                record.completed_at = self._deployment.sim.now
-                self._completed += 1
-                self._on_request_complete(record)
+    def _on_request_apply(
+        self,
+        replica: ReplicaId,
+        slot: int,
+        command: Value,
+        decoded: Tuple[int, int, Value],
+    ) -> None:
+        record = self._records.get((decoded[0], decoded[1]))
+        if record is None or record.completed:
+            return
+        record.acked_by.add(replica)
+        record.slot = slot
+        if len(record.acked_by) >= self._ack_threshold:
+            record.completed_at = self._deployment.sim.now
+            self._completed += 1
+            self._on_request_complete(record)
 
     def _on_request_complete(self, record: RequestRecord) -> None:
+        if self.spec.arrival == "open":
+            return  # arrivals are pre-scheduled; completions drive nothing
         client = self._by_id[record.client_id]
         if client.issued < self.spec.requests_per_client:
             self._schedule_issue(client, self._think(client))
@@ -254,18 +335,32 @@ class WorkloadGenerator:
         return self._completed
 
     @property
+    def recovered(self) -> int:
+        """Requests completed from replayed pre-attach history."""
+        return self._recovered
+
+    @property
     def retries(self) -> int:
         """Submissions refused by backpressure and rescheduled."""
         return self._retries
 
     def latencies(self) -> List[float]:
-        """Completed per-request latencies, submission order."""
-        return [r.latency for r in self.records if r.completed]
+        """Completed per-request latencies, submission order.
+
+        Recovered requests are excluded: their zero "latency" measures
+        nothing and would drag the percentiles down.
+        """
+        return [
+            r.latency for r in self.records if r.completed and not r.recovered
+        ]
 
     def latency_accumulator(self) -> LatencyAccumulator:
         acc = LatencyAccumulator()
         for record in self.records:
-            acc.add(record.latency)
+            if record.recovered:
+                acc.add_recovered()
+            else:
+                acc.add(record.latency)
         # Requests the closed loop never got to issue (their predecessor
         # timed out) still count against completion accounting.
         acc.incomplete += self.spec.total_requests - self.issued
@@ -275,17 +370,45 @@ class WorkloadGenerator:
 # ----------------------------------------------------------------------
 # Serving trials: adversaries × load levels
 # ----------------------------------------------------------------------
+class _SilentSlotEndpoint:
+    """A crash-faulty slot endpoint: registered but inert.
+
+    Installed for slots where an active behaviour does not apply at this
+    seat (an equivocator that does not lead the slot, a flooder that does) —
+    the seat is simply absent from that slot's consensus instance.
+    """
+
+    def start(self) -> None:
+        pass
+
+    def on_message(self, src: ReplicaId, message: object) -> None:
+        pass
+
+
+def _slot_view1_leader(config: ProtocolConfig) -> ReplicaId:
+    """The view-1 leader a slot config designates: ``leader_offset mod n``."""
+    return config.leader_offset % config.n
+
+
 def _equivocating_slot_factory(slot, config, crypto, transport):
     from ..adversary.equivocation import EquivocatingLeader, optimal_split
 
+    # Install the equivocator only in slots this seat actually leads in
+    # view 1 (the slot config carries the rotated schedule).  The seat is
+    # physically fixed per deployment; with rotation off it is the view-1
+    # leader of every slot (the historical behaviour), with rotation on it
+    # leads — and can attack — only ~1/n of the slots.
+    seat = transport.replica
+    if seat != _slot_view1_leader(config):
+        return _SilentSlotEndpoint()
     return EquivocatingLeader(
-        replica_id=0,
+        replica_id=seat,
         config=config,
         crypto=crypto,
         transport=transport,
         strategy=optimal_split(
             config.n,
-            (0,),
+            (seat,),
             f"evil-{slot}-a".encode(),
             f"evil-{slot}-b".encode(),
         ),
@@ -295,8 +418,14 @@ def _equivocating_slot_factory(slot, config, crypto, transport):
 def _flooding_slot_factory(slot, config, crypto, transport):
     from ..adversary.flooding import FloodingReplica
 
+    # The flooding behaviour presumes a non-leader seat (it fires on seeing
+    # the leader's Propose); in slots this seat leads it degrades to a
+    # crash-faulty leader — silence — and the slot recovers by view change.
+    seat = transport.replica
+    if seat == _slot_view1_leader(config):
+        return _SilentSlotEndpoint()
     return FloodingReplica(
-        replica_id=1,
+        replica_id=seat,
         config=config,
         crypto=crypto,
         transport=transport,
@@ -305,8 +434,11 @@ def _flooding_slot_factory(slot, config, crypto, transport):
 
 
 #: Serving-cell adversaries: name → (replica_id, per-slot factory).  The
-#: equivocating leader must be replica 0 — the view-1 leader of every slot
-#: — while the flooder works from any non-leader seat.
+#: factories are seat-aware: the equivocating leader attacks exactly the
+#: slots its seat leads in view 1 (all of them with rotation off, ~1/n with
+#: rotation on), and the flooder dodges the slots it would lead.  Seat 0 /
+#: seat 1 match the fixed-leader schedule, keeping rotate-off cells
+#: bit-identical to the historical pinned-seat behaviour.
 SERVING_ADVERSARIES: Dict[str, Optional[Tuple[ReplicaId, Callable]]] = {
     "none": None,
     "equivocating-leader": (0, _equivocating_slot_factory),
@@ -327,6 +459,15 @@ LOAD_LEVELS: Dict[str, Dict[str, object]] = {
         "think_time": 1.0,
         "window": 2,
     },
+}
+
+#: Default aggregate offered rates (requests per simulated second) for
+#: open-loop serving cells, keyed by load level.  "low" sits well under the
+#: no-fault service rate; "high" pushes toward saturation so queueing shows
+#: up in the latency tail.
+OPEN_LOOP_RATES: Dict[str, float] = {
+    "low": 1.0,
+    "high": 6.0,
 }
 
 
@@ -363,6 +504,9 @@ class ServingSpec:
     timeout: float = 10.0
     max_time: float = 20_000.0
     max_events: int = 20_000_000
+    rotate_leaders: bool = False
+    arrival: str = "closed"
+    offered_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.adversary not in SERVING_ADVERSARIES:
@@ -374,6 +518,10 @@ class ServingSpec:
             raise ValueError(
                 f"unknown load level {self.load!r}; known: "
                 f"{', '.join(sorted(LOAD_LEVELS))}"
+            )
+        if self.arrival not in ("closed", "open"):
+            raise ValueError(
+                f"arrival must be 'closed' or 'open', got {self.arrival!r}"
             )
 
     def workload(self) -> WorkloadSpec:
@@ -389,6 +537,13 @@ class ServingSpec:
             value = getattr(self, name)
             if value is not None:
                 preset[name] = value
+        preset["arrival"] = self.arrival
+        if self.arrival == "open":
+            preset["offered_rate"] = (
+                self.offered_rate
+                if self.offered_rate is not None
+                else OPEN_LOOP_RATES[self.load]
+            )
         return WorkloadSpec(**preset)  # type: ignore[arg-type]
 
     def slots(self) -> int:
@@ -422,6 +577,9 @@ class ServingResult:
     sim_time: float
     slots_applied: int
     logs_consistent: bool
+    recovered: int = 0
+    rotate_leaders: bool = False
+    arrival: str = "closed"
     #: Completed per-request latencies in submission order — the golden
     #: determinism witness (bit-identical for equal (spec, seed) anywhere).
     latencies: Tuple[float, ...] = field(default=(), repr=False)
@@ -439,6 +597,7 @@ class ServingResult:
             "issued": self.issued,
             "completed": self.completed,
             "timed_out": self.timed_out,
+            "recovered": self.recovered,
             "retries": self.retries,
             "throughput": self.throughput,
             "mean_latency": self.mean_latency,
@@ -448,6 +607,8 @@ class ServingResult:
             "sim_time": self.sim_time,
             "slots_applied": self.slots_applied,
             "logs_consistent": self.logs_consistent,
+            "rotate_leaders": self.rotate_leaders,
+            "arrival": self.arrival,
         }
 
 
@@ -471,7 +632,27 @@ def build_serving_deployment(spec: ServingSpec) -> SMRDeployment:
         batch_size=spec.batch_size,
         max_pending=spec.max_pending,
         eager_slots=False,
+        rotate_leaders=spec.rotate_leaders,
     )
+
+
+def serving_throughput(records: List[RequestRecord]) -> float:
+    """Live throughput: completions per sim-second over the serving span.
+
+    Only *live* completions count — recovered requests complete at replay
+    time with no service behind them, so a trial where every completion was
+    recovered reports ``0.0`` (with the ``recovered`` count explaining why)
+    instead of dividing a completion count by a zero or meaningless span.
+    Trailing timeout noise after the last live completion is idle time, not
+    service, hence the max-completion denominator.
+    """
+    live = [r for r in records if r.completed and not r.recovered]
+    if not live:
+        return 0.0
+    last_completion = max(r.completed_at for r in live)
+    if last_completion <= 0:
+        return 0.0
+    return len(live) / last_completion
 
 
 def run_serving_trial(spec: ServingSpec) -> ServingResult:
@@ -481,14 +662,7 @@ def run_serving_trial(spec: ServingSpec) -> ServingResult:
     generator.run(max_time=spec.max_time, max_events=spec.max_events)
     acc = generator.latency_accumulator()
     latencies = generator.latencies()
-    # Throughput over the span that actually served requests: trailing
-    # timeout noise after the last completion is idle time, not service.
-    last_completion = max(
-        (r.completed_at for r in generator.records if r.completed), default=0.0
-    )
-    throughput = (
-        generator.completed / last_completion if last_completion > 0 else 0.0
-    )
+    throughput = serving_throughput(generator.records)
     return ServingResult(
         adversary=spec.adversary,
         load=spec.load,
@@ -512,6 +686,9 @@ def run_serving_trial(spec: ServingSpec) -> ServingResult:
             default=0,
         ),
         logs_consistent=deployment.logs_consistent(),
+        recovered=generator.recovered,
+        rotate_leaders=spec.rotate_leaders,
+        arrival=spec.arrival,
         latencies=tuple(latencies),
     )
 
@@ -519,17 +696,34 @@ def run_serving_trial(spec: ServingSpec) -> ServingResult:
 def serving_cells(
     adversaries: Optional[List[str]] = None,
     loads: Optional[List[str]] = None,
+    rotations: Optional[List[bool]] = None,
+    arrivals: Optional[List[str]] = None,
     **overrides,
 ) -> List[ServingSpec]:
-    """The serving scenario matrix: adversaries × load levels."""
+    """The serving scenario matrix: adversaries × loads × rotation × arrival.
+
+    The rotation and arrival axes default to the single historical cell
+    (fixed leaders, closed loop), so existing callers get the same matrix
+    as before.
+    """
     adversaries = (
         list(SERVING_ADVERSARIES) if adversaries is None else adversaries
     )
     loads = list(LOAD_LEVELS) if loads is None else loads
+    rotations = [False] if rotations is None else rotations
+    arrivals = ["closed"] if arrivals is None else arrivals
     return [
-        ServingSpec(adversary=adversary, load=load, **overrides)
+        ServingSpec(
+            adversary=adversary,
+            load=load,
+            rotate_leaders=rotate,
+            arrival=arrival,
+            **overrides,
+        )
         for adversary in adversaries
         for load in loads
+        for rotate in rotations
+        for arrival in arrivals
     ]
 
 

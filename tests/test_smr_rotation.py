@@ -1,0 +1,351 @@
+"""Rotating slot leadership, open-loop arrivals, and recovery accounting.
+
+Covers the ``leader_offset`` protocol knob and its per-slot rotation
+wiring, the bit-identity contract (rotate-off cells match the committed
+``BENCH_smr_serving.json`` golden rows), rotation-on determinism across
+engine backends, log/snapshot consistency with the equivocator parked at
+every rotated seat, open-loop Poisson workloads at thousands of clients,
+and the recovery satellites: recovered records excluded from latency
+percentiles, majority-slot attribution under a divergent Byzantine
+report, and the zero-throughput guard for recovered-only trials.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.core.leader import leader_of, leader_of_view
+from repro.errors import ConfigError
+from repro.harness.parallel import ExperimentEngine
+from repro.smr.app import CounterApp
+from repro.smr.client import SMRClient, majority_slot
+from repro.smr.replica import SMRReplica, slot_leader_offset
+from repro.smr.service import SMRDeployment
+from repro.smr.workload import (
+    OPEN_LOOP_RATES,
+    ServingSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+    build_serving_deployment,
+    run_serving_trial,
+    run_serving_trial_spec,
+    serving_cells,
+    serving_throughput,
+    serving_trials,
+)
+from repro.smr.workload import _equivocating_slot_factory
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_smr_serving.json"
+
+# Mirrors tests/test_smr_serving.py: small but exercises batching,
+# pipelining, and the closed loop.
+SMALL = dict(num_clients=6, requests_per_client=3, max_time=5_000.0)
+
+
+class TestLeaderOffset:
+    def test_offset_zero_matches_historical_schedule(self):
+        config = ProtocolConfig(n=9, f=2)
+        for view in range(1, 20):
+            assert leader_of(view, config) == leader_of_view(view, config.n)
+
+    def test_offset_shifts_schedule(self):
+        config = ProtocolConfig(n=9, f=2, leader_offset=3)
+        assert leader_of(1, config) == 3
+        assert leader_of(7, config) == 0  # wraps past n
+        for view in range(1, 20):
+            assert leader_of(view, config) == (view - 1 + 3) % 9
+
+    @pytest.mark.parametrize("offset", [-1, 9, 100])
+    def test_offset_out_of_range_rejected(self, offset):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(n=9, f=2, leader_offset=offset)
+
+    def test_slot_leader_offset_rotation(self):
+        n = 9
+        # Rotation off: every slot keeps the historical view-1 leader 0.
+        assert all(
+            slot_leader_offset(slot, n, rotate_leaders=False) == 0
+            for slot in range(1, 2 * n)
+        )
+        # Rotation on: view-1 leadership of slot s falls on (s + 1) mod n,
+        # so n consecutive slots cover every seat exactly once.
+        leaders = {
+            (slot_leader_offset(slot, n, rotate_leaders=True)) % n
+            for slot in range(1, n + 1)
+        }
+        assert leaders == set(range(n))
+
+    def test_smr_replica_rejects_preoffset_config(self):
+        """Slot configs carry the rotation; a caller-supplied offset would
+        silently compose with it."""
+        config = ProtocolConfig(n=9, f=2, leader_offset=1)
+        with pytest.raises(ValueError, match="leader_offset"):
+            SMRReplica(
+                replica_id=0,
+                config=config,
+                crypto=None,
+                transport=None,
+                app=CounterApp(),
+                num_slots=1,
+            )
+
+
+class TestGoldenArtifactIdentity:
+    """Rotate-off serving is bit-identical to the committed golden rows."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return json.loads(ARTIFACT.read_text())
+
+    def test_matrix_rows_reproduce(self, artifact):
+        golden = [
+            row
+            for row in artifact["rows"]
+            if row["arrival"] == "closed" and not row["rotate_leaders"]
+        ]
+        assert golden, "artifact lost its fixed-leader closed-loop rows"
+        for row in golden:
+            spec = ServingSpec(
+                adversary=row["adversary"],
+                load=row["load"],
+                seed=artifact["seed"],
+            )
+            rerun = run_serving_trial(spec).row()
+            assert rerun == row, (row["adversary"], row["load"])
+
+    def test_rotation_ablation_claim_holds(self, artifact):
+        """The committed ablation records rotated >= 3x fixed throughput."""
+        ablation = artifact["rotation_ablation"]
+        assert ablation["speedup"] >= 3.0
+        assert (
+            ablation["rotated_throughput"]
+            >= 3.0 * ablation["fixed_throughput"]
+        )
+
+
+class TestRotationDeterminism:
+    def test_rotation_off_is_default_identity(self):
+        base = run_serving_trial(ServingSpec(**SMALL))
+        explicit = run_serving_trial(
+            ServingSpec(rotate_leaders=False, **SMALL)
+        )
+        assert base.latencies == explicit.latencies
+        assert base.row() == explicit.row()
+
+    def test_rotation_on_serial_matches_pool(self):
+        trials = serving_trials(
+            [
+                ServingSpec(
+                    adversary="equivocating-leader",
+                    rotate_leaders=True,
+                    **SMALL,
+                ),
+                ServingSpec(rotate_leaders=True, seed=1, **SMALL),
+            ]
+        )
+        serial = ExperimentEngine(workers=0).map(run_serving_trial_spec, trials)
+        pool = ExperimentEngine(workers=2)
+        try:
+            pooled = pool.map(run_serving_trial_spec, trials)
+        finally:
+            pool.close()
+        for a, b in zip(serial, pooled):
+            assert a.latencies == b.latencies
+            assert a.row() == b.row()
+
+    def test_rotation_lifts_equivocation_cell(self):
+        """Rotation confines the equivocator to ~1/n of slots: the attacked
+        cell's throughput strictly improves and its tail shrinks."""
+        fixed = run_serving_trial(
+            ServingSpec(adversary="equivocating-leader", **SMALL)
+        )
+        rotated = run_serving_trial(
+            ServingSpec(
+                adversary="equivocating-leader", rotate_leaders=True, **SMALL
+            )
+        )
+        assert rotated.completed == fixed.completed
+        assert rotated.logs_consistent
+        assert rotated.throughput > fixed.throughput
+        assert rotated.p99_latency < fixed.p99_latency
+
+    def test_serving_cells_rotation_and_arrival_axes(self):
+        cells = serving_cells(
+            adversaries=["none"],
+            loads=["high"],
+            rotations=[False, True],
+            arrivals=["closed", "open"],
+        )
+        assert len(cells) == 4
+        assert {(c.rotate_leaders, c.arrival) for c in cells} == {
+            (False, "closed"),
+            (False, "open"),
+            (True, "closed"),
+            (True, "open"),
+        }
+
+
+class TestEquivocatorAtEveryRotatedSeat:
+    """With rotation on, the Byzantine seat leads ~1/n of slots — wherever
+    it sits.  Logs and snapshots must stay consistent for every seat."""
+
+    @pytest.mark.parametrize("seat", range(9))
+    def test_log_consistency(self, seat):
+        cfg = ProtocolConfig(n=9, f=2)
+        dep = SMRDeployment(
+            cfg,
+            CounterApp,
+            num_slots=4,
+            seed=13,
+            byzantine_factories={seat: _equivocating_slot_factory},
+            batch_size=2,
+            rotate_leaders=True,
+        )
+        for i in range(8):
+            dep.submit_to_all(b"ADD:%d" % (i % 4 + 1))
+        dep.run(max_time=50_000)
+        assert dep.all_applied(), seat
+        assert dep.logs_consistent(), seat
+        assert dep.snapshots_consistent(), seat
+
+
+class TestOpenLoopArrivals:
+    def test_open_requires_offered_rate(self):
+        with pytest.raises(ValueError, match="offered_rate"):
+            WorkloadSpec(arrival="open")
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ValueError, match="arrival"):
+            WorkloadSpec(arrival="poisson", offered_rate=1.0)
+        with pytest.raises(ValueError, match="arrival"):
+            ServingSpec(arrival="poisson")
+
+    def test_spec_defaults_rate_from_load(self):
+        spec = ServingSpec(arrival="open", load="high")
+        assert spec.workload().offered_rate == OPEN_LOOP_RATES["high"]
+        pinned = ServingSpec(arrival="open", offered_rate=2.5)
+        assert pinned.workload().offered_rate == 2.5
+
+    def test_open_loop_completes_and_is_deterministic(self):
+        spec = ServingSpec(arrival="open", **SMALL)
+        first = run_serving_trial(spec)
+        second = run_serving_trial(spec)
+        assert first.completed == spec.workload().total_requests
+        assert first.timed_out == 0
+        assert first.logs_consistent
+        assert first.arrival == "open"
+        assert first.latencies == second.latencies
+        assert first.row() == second.row()
+
+    def test_open_loop_differs_from_closed(self):
+        closed = run_serving_trial(ServingSpec(**SMALL))
+        opened = run_serving_trial(ServingSpec(arrival="open", **SMALL))
+        assert closed.latencies != opened.latencies
+
+    def test_thousands_of_clients_complete(self):
+        """The apply-watcher index keeps per-apply dispatch O(1), so an
+        open-loop population in the thousands finishes in seconds."""
+        spec = ServingSpec(
+            arrival="open",
+            num_clients=2000,
+            requests_per_client=1,
+            offered_rate=200.0,
+            max_time=200_000.0,
+        )
+        result = run_serving_trial(spec)
+        assert result.completed == 2000
+        assert result.timed_out == 0
+        assert result.logs_consistent
+
+
+class TestRecoveredAccounting:
+    """Satellites: recovered records must not pollute latency percentiles
+    (S1), slot attribution survives a divergent Byzantine report (S2), and
+    a recovered-only trial reports zero throughput with the recovered
+    count explaining the gap (S3)."""
+
+    def _run_once(self, spec):
+        deployment = build_serving_deployment(spec)
+        generator = WorkloadGenerator(
+            deployment, spec.workload(), seed=spec.seed
+        )
+        generator.run(max_time=spec.max_time)
+        return deployment, generator
+
+    def test_recovered_excluded_from_latencies(self):
+        spec = ServingSpec(**SMALL)
+        deployment, first = self._run_once(spec)
+        assert first.completed == spec.workload().total_requests
+        # A second generator over the same deployment re-issues the same
+        # (client_id, seq) envelopes: every request completes from replayed
+        # history with a meaningless zero latency.
+        deployment._next_client_id = 0
+        replay = WorkloadGenerator(deployment, spec.workload(), seed=spec.seed)
+        replay.run(max_time=spec.max_time)
+        assert replay.completed == spec.workload().total_requests
+        assert replay.recovered == replay.completed
+        assert replay.latencies() == []
+        acc = replay.latency_accumulator()
+        assert acc.recovered == replay.recovered
+        assert acc.mean is None and acc.p99 is None
+        summary = acc.summary()
+        assert summary["recovered"] == replay.recovered
+        assert summary["incomplete"] == 0
+
+    def test_recovered_only_trial_reports_zero_throughput(self):
+        spec = ServingSpec(**SMALL)
+        deployment, first = self._run_once(spec)
+        live_tput = serving_throughput(first.records)
+        assert live_tput > 0
+        deployment._next_client_id = 0
+        replay = WorkloadGenerator(deployment, spec.workload(), seed=spec.seed)
+        replay.run(max_time=spec.max_time)
+        # Every completion was recovered: no live serving happened, so the
+        # throughput guard reports 0.0 and `recovered` explains the gap.
+        assert serving_throughput(replay.records) == 0.0
+
+    def test_result_row_surfaces_recovered_count(self):
+        row = run_serving_trial(ServingSpec(**SMALL)).row()
+        assert row["recovered"] == 0
+        assert "rotate_leaders" in row and "arrival" in row
+
+    def test_majority_slot_unit(self):
+        assert majority_slot({0: 5}) == 5
+        assert majority_slot({0: 5, 1: 5, 2: 7}) == 5
+        # Ties break to the smallest slot, deterministically.
+        assert majority_slot({0: 9, 1: 4}) == 4
+
+    def test_client_slot_survives_divergent_byzantine_report(self):
+        """One replica reporting a bogus slot for an ordered request must
+        not become the record's slot attribution."""
+        cfg = ProtocolConfig(n=9, f=2)
+        dep = SMRDeployment(cfg, CounterApp, num_slots=2, seed=7, batch_size=1)
+        client = SMRClient(dep)
+        record = client.submit(b"ADD:1")
+        assert record is not None
+        # A Byzantine replica claims an absurd slot *first*; the honest
+        # majority then applies the request in its real slot.
+        bogus = max(dep.replicas) + 1  # id outside the honest set
+        dep._record_apply(bogus, 999, record.command)
+        dep.run(max_time=1_000)
+        assert record.completed
+        assert record.slot != 999
+        history = client._history[record.request_id]
+        assert record.slot == majority_slot(history)
+
+    def test_late_client_majority_slot_from_history(self):
+        cfg = ProtocolConfig(n=9, f=2)
+        dep = SMRDeployment(cfg, CounterApp, num_slots=1, seed=3, batch_size=1)
+        issuer = SMRClient(dep)
+        record = issuer.submit(b"ADD:2")
+        dep.run(max_time=1_000)
+        assert record.completed
+        # Poison one replayed history entry, then re-attach: the majority
+        # still pins the real slot.
+        dep.applied[max(dep.replicas) + 1] = [(777, record.command)]
+        late = SMRClient(dep, client_id=issuer.client_id)
+        replayed = late.submit(b"ADD:2", seq=record.seq)
+        assert replayed.recovered
+        assert replayed.slot == record.slot != 777
